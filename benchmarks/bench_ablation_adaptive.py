@@ -1,0 +1,58 @@
+"""Ablation — adaptive parallelism (Section 7.4).
+
+"For DMR and PTA, we double the number of threads per block in every
+iteration (starting from an initial value of 64 ...) for the first
+three iterations.  This improves the work efficiency as well as the
+overall performance (by 14% ...)."
+
+We compare a fixed wide launch, the paper's doubling policy, and the
+feedback policy that widens only while the abort ratio stays low.
+Work efficiency = processed / attempted items.
+"""
+
+from conftest import mesh_for
+from harness import emit, fmt_time, table
+from repro.core.adaptive import AdaptiveConfig, FeedbackAdaptiveConfig, FixedConfig
+from repro.dmr import DMRConfig, refine_gpu
+from repro.vgpu import CostModel
+from repro.vgpu.device import LaunchConfig
+
+# The launch geometry must actually bind the number of in-flight items
+# for the policy to matter; at 1/100 scale that means a single-SM-sized
+# grid and fine-grained local worklists (min_chunk below).
+POLICIES = [
+    ("fixed 14x512", lambda: FixedConfig(LaunchConfig(14, 512))),
+    ("paper doubling 64->512",
+     lambda: AdaptiveConfig(initial_tpb=64, blocks=14)),
+    ("feedback (abort-driven)",
+     lambda: FeedbackAdaptiveConfig(initial_tpb=64, blocks=14)),
+]
+
+
+def test_ablation_adaptive(benchmark):
+    cm = CostModel()
+    mesh = mesh_for(2.0)
+    rows = []
+    eff = {}
+    for label, make in POLICIES:
+        res = refine_gpu(mesh.copy(), DMRConfig(seed=8, adaptive=make(),
+                                                min_chunk=4))
+        assert res.converged
+        attempted = res.processed + res.aborted_conflicts + \
+            res.aborted_geometry
+        efficiency = res.processed / attempted
+        eff[label] = (efficiency, cm.gpu_time(res.counter))
+        rows.append((label, attempted, res.processed,
+                     f"{efficiency:.2f}", fmt_time(eff[label][1])))
+    txt = table(["policy", "attempted", "processed", "work efficiency",
+                 "modeled time"], rows)
+    emit("ablation_adaptive", txt + "\npaper: adaptive parallelism improved "
+         "DMR by 14% (Fig. 8 row 5: 5380 -> 2200 ms combined effects)")
+
+    # The feedback policy must not be less work-efficient than the
+    # fixed wide launch.
+    assert eff["feedback (abort-driven)"][0] >= eff["fixed 14x512"][0] - 0.05
+
+    benchmark.pedantic(
+        lambda: refine_gpu(mesh.copy(), DMRConfig(seed=8, max_rounds=3)),
+        rounds=1, iterations=1)

@@ -1,0 +1,46 @@
+"""Ablation — push vs pull propagation in PTA (Section 6.4).
+
+"The advantage of a pull-based approach is that, since only one thread
+is processing each node, no synchronization is needed ... in a
+push-based approach, multiple threads may simultaneously propagate
+information to the same node and, in general, need to use
+synchronization."
+
+Both variants reach the identical fixed point; the push variant pays an
+atomic per destination word.  The table shows the atomic counts and the
+modeled GPU times for both.
+"""
+
+from scipy.stats import gmean
+
+from harness import emit, table
+from repro.pta import SPEC2000, andersen_pull, andersen_push, generate_spec_like
+from repro.vgpu import CostModel
+
+
+def test_ablation_push_vs_pull(benchmark):
+    cm = CostModel()
+    rows = []
+    ratios = []
+    for name in SPEC2000:
+        cons = generate_spec_like(name, seed=0)
+        pull = andersen_pull(cons)
+        push = andersen_push(cons)
+        assert pull.pts.equal(push.pts), name
+        t_pull = cm.gpu_time(pull.counter)
+        t_push = cm.gpu_time(push.counter)
+        ratios.append(t_push / t_pull)
+        rows.append((name,
+                     pull.counter.kernel("pta.propagate").atomics,
+                     push.counter.kernel("pta.propagate").atomics,
+                     f"{1000 * t_pull:.2f}ms", f"{1000 * t_push:.2f}ms",
+                     f"{t_push / t_pull:.2f}x"))
+    txt = table(["benchmark", "pull atomics", "push atomics",
+                 "pull GPU", "push GPU", "push/pull"], rows)
+    geo = float(gmean(ratios))
+    emit("ablation_pushpull", txt + f"\ngeomean push/pull cost: {geo:.2f}x")
+    assert geo > 1.0, "pull must be cheaper on average (the paper's point)"
+
+    cons = generate_spec_like("179.art", seed=0)
+    benchmark.pedantic(lambda: andersen_pull(cons).rounds,
+                       rounds=3, iterations=1)

@@ -1,0 +1,72 @@
+"""Extension — the morph toolkit on two workloads beyond the paper's four.
+
+1. **Concurrent Delaunay construction** (Qi et al. territory, Section 9):
+   thousands of points insert themselves through the same 3-phase
+   machinery as DMR.  The parallelism profile mirrors Fig. 2's shape.
+2. **Parallel edge-flip legalization** (Navarro et al., Section 9): a
+   pure morph — no allocation, no deletion — run on the generic morph
+   engine.
+
+Both demonstrate the paper's closing claim that the techniques carry to
+other morph algorithms.
+"""
+
+import numpy as np
+
+from harness import SCALE, emit, fmt_time, table
+from repro.meshing import TriMesh, gpu_insert_points, legalize_gpu, \
+    random_legal_flips, random_points_mesh
+from repro.vgpu import CostModel
+
+
+def test_extension_concurrent_insertion(benchmark):
+    cm = CostModel()
+    n = max(200, 1500 // SCALE)
+    rng = np.random.default_rng(5)
+    x, y = rng.random(n), rng.random(n)
+    box = TriMesh(np.array([-0.1, 1.1, 1.1, -0.1]),
+                  np.array([-0.1, -0.1, 1.1, 1.1]),
+                  np.array([[0, 1, 2], [0, 2, 3]], dtype=np.int64))
+    res = gpu_insert_points(box, x, y, seed=5)
+    res.mesh.validate(check_delaunay=True)
+    par = res.parallelism
+    txt = table(["metric", "value"], [
+        ("points inserted", res.inserted),
+        ("rounds", res.rounds),
+        ("abort ratio", f"{res.abort_ratio:.2f}"),
+        ("peak concurrent insertions", max(par)),
+        ("modeled GPU time", fmt_time(cm.gpu_time(res.counter))),
+    ])
+    emit("extension_insertion", txt)
+    assert res.inserted == n
+    assert max(par) > par[0]  # ramp-up, like Fig. 2
+
+    benchmark.pedantic(
+        lambda: gpu_insert_points(
+            TriMesh(np.array([-0.1, 1.1, 1.1, -0.1]),
+                    np.array([-0.1, -0.1, 1.1, 1.1]),
+                    np.array([[0, 1, 2], [0, 2, 3]], dtype=np.int64)),
+            x[:200], y[:200], seed=6).inserted,
+        rounds=1, iterations=1)
+
+
+def test_extension_edge_flip(benchmark):
+    cm = CostModel()
+    mesh = random_points_mesh(max(100, 2000 // SCALE), seed=6).copy()
+    flips_in = random_legal_flips(mesh, mesh.num_triangles // 10, seed=6)
+    res = legalize_gpu(mesh, seed=6)
+    mesh.validate(check_delaunay=True)
+    txt = table(["metric", "value"], [
+        ("random un-legalizing flips applied", flips_in),
+        ("legalizing flips", res.flips),
+        ("rounds", res.rounds),
+        ("abort ratio", f"{res.abort_ratio:.2f}"),
+        ("modeled GPU time", fmt_time(cm.gpu_time(res.counter))),
+    ])
+    emit("extension_edgeflip", txt)
+    assert res.flips >= 1
+
+    m2 = random_points_mesh(100, seed=7).copy()
+    random_legal_flips(m2, 10, seed=7)
+    benchmark.pedantic(lambda: legalize_gpu(m2.copy(), seed=7).flips,
+                       rounds=1, iterations=1)

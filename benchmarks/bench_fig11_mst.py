@@ -1,0 +1,90 @@
+"""Fig. 11 — Boruvka MST on six graphs.
+
+Paper (seconds):
+
+    graph        N(M)   M(M)   Galois2.1.4  Galois2.1.5  GPU
+    USA          23.9   57.7   8.2          3.0          35.8
+    W             6.3   15.1   2.3          0.8           9.5
+    RMAT20        1.0    8.3   1,393.6      0.4          26.8
+    Random4-20    1.0    4.0   281.9        0.4           4.7
+    grid-2d-24   16.8   33.6   14.3         5.0          71.8
+    grid-2d-20    1.0    2.0   0.7          0.2           0.9
+
+Key shapes reproduced: (1) the explicit-list-merging 2.1.4 baseline is
+fast on sparse road/grid graphs but blows up super-linearly on the
+dense power-law inputs (RMAT 1393s!), while (2) the component-based GPU
+code is insensitive to density — so the GPU wins on dense graphs and
+the sparse/dense flip lands where the paper puts it; (3) the
+component-based union-find 2.1.5 rewrite beats 2.1.4 everywhere.
+
+Deviation (documented in EXPERIMENTS.md): our GPU kernels are cleaner
+than the paper's (their per-component node-list scans serialize on
+giant late-round components; we model that critical path, but at 1/100
+scale it does not dominate), so our GPU does not *lose* to Galois 2.1.5
+on sparse graphs the way the paper's does.
+"""
+
+import numpy as np
+import pytest
+
+from harness import SCALE, emit, fmt_time, table
+from paper_data import FIG11_MST, SCALE_NOTES
+from repro.graphgen import grid2d, random_graph, rmat, road_network
+from repro.mst import boruvka_gpu, boruvka_merge, boruvka_unionfind
+from repro.vgpu import CostModel
+
+
+def inputs():
+    s = SCALE
+    return {
+        "USA": road_network(239_000 // s, seed=1),
+        "W": road_network(63_000 // s, seed=2),
+        "RMAT20": rmat(max(8, 16 - (s - 1).bit_length()), 8, seed=3),
+        "Random4-20": random_graph(65_536 // s, 4 * 65_536 // s, seed=4),
+        "grid-2d-24": grid2d(max(16, 410 // s), seed=5),
+        "grid-2d-20": grid2d(max(8, 102 // s), seed=6),
+    }
+
+
+def test_fig11_mst(benchmark):
+    cm = CostModel()
+    rows = []
+    ours = {}
+    for name, (n, src, dst, w) in inputs().items():
+        gpu = boruvka_gpu(n, src, dst, w)
+        merge = boruvka_merge(n, src, dst, w)
+        uf = boruvka_unionfind(n, src, dst, w)
+        assert gpu.total_weight == merge.total_weight == uf.total_weight, name
+        t_gpu = cm.gpu_time(gpu.counter)
+        t_m = cm.cpu_time(merge.counter, 48)
+        t_u = cm.cpu_time(uf.counter, 48)
+        ours[name] = (t_m, t_u, t_gpu)
+        p_n, p_m, p_214, p_215, p_gpu = FIG11_MST[name]
+        rows.append((name, n, src.size,
+                     f"{p_214}", fmt_time(t_m),
+                     f"{p_215}", fmt_time(t_u),
+                     f"{p_gpu}", fmt_time(t_gpu)))
+    txt = SCALE_NOTES + "\n" + table(
+        ["graph", "our N", "our M",
+         "paper 2.1.4(s)", "ours 2.1.4",
+         "paper 2.1.5(s)", "ours 2.1.5",
+         "paper GPU(s)", "ours GPU"], rows)
+    emit("fig11_mst", txt)
+
+    # Shape assertions.
+    # (1) 2.1.4's dense blowup: its RMAT handicap (time per edge vs the
+    #     road network) must exceed 2x.
+    m_edges = {name: inp[1].size for name, inp in inputs().items()}
+    rmat_rate = ours["RMAT20"][0] / m_edges["RMAT20"]
+    usa_rate = ours["USA"][0] / m_edges["USA"]
+    assert rmat_rate > 2 * usa_rate, "2.1.4 density blowup missing"
+    # (2) 2.1.5 beats 2.1.4 on the dense graphs (its raison d'etre).
+    assert ours["RMAT20"][1] < ours["RMAT20"][0]
+    assert ours["Random4-20"][1] < ours["Random4-20"][0]
+    # (3) GPU beats 2.1.4 on the dense graphs by a large factor
+    #     (paper: 1393.6s -> 26.8s on RMAT20).
+    assert ours["RMAT20"][2] < ours["RMAT20"][0] / 5
+
+    n, src, dst, w = grid2d(64, seed=9)
+    benchmark.pedantic(lambda: boruvka_gpu(n, src, dst, w).total_weight,
+                       rounds=3, iterations=1)

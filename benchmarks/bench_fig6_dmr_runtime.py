@@ -1,0 +1,48 @@
+"""Fig. 6 — DMR runtime: GPU vs serial (Triangle) vs multicore (Galois)
+across thread counts, for four input sizes.
+
+The paper plots, per input, the multicore runtime as a function of
+thread count with the serial and GPU times as horizontal lines.  This
+benchmark reproduces the same series from modeled times: the Galois
+emulation runs with 48 speculative threads and the model prices its
+counted work at each thread count (lower counts conflict less, so the
+modeled curve is, if anything, pessimistic for small thread counts).
+"""
+
+import pytest
+
+from harness import emit, fmt_time, table
+from paper_data import SCALE_NOTES
+from repro.vgpu import CostModel
+
+THREADS = [1, 2, 4, 8, 16, 32, 48]
+
+
+def test_fig6_dmr_runtime(dmr_runs, benchmark):
+    cm = CostModel()
+    lines = [SCALE_NOTES]
+    for paper_size, run in sorted(dmr_runs.items()):
+        rows = []
+        serial_t = cm.serial_time(run["serial"].counter)
+        gpu_t = cm.gpu_time(run["gpu"].counter)
+        for t in THREADS:
+            rows.append((f"galois-{t}",
+                         fmt_time(cm.cpu_time(run["galois"].counter, t))))
+        rows.append(("serial (Triangle role)", fmt_time(serial_t)))
+        rows.append(("GPU", fmt_time(gpu_t)))
+        lines.append(f"input ~{paper_size}M paper-triangles "
+                     f"(ours: {run['mesh_tris']} tris, {run['bad']} bad)")
+        lines.append(table(["configuration", "modeled time"], rows))
+        lines.append("")
+    emit("fig6_dmr_runtime", "\n".join(lines))
+
+    # Measured quantity for pytest-benchmark: one GPU kernel iteration
+    # on the smallest input (simulator throughput).
+    from conftest import mesh_for
+    from repro.dmr import refine_gpu, DMRConfig
+    smallest = min(dmr_runs)
+    mesh = mesh_for(smallest)
+
+    benchmark.pedantic(
+        lambda: refine_gpu(mesh.copy(), DMRConfig(max_rounds=1)),
+        rounds=1, iterations=1)

@@ -1,0 +1,51 @@
+"""Fig. 7 — DMR speedups over the sequential implementation.
+
+Paper (10M triangles): Galois-48 26.5x, GPU 60.6x; across inputs the
+GPU lands between 54.6x and 80.5x, i.e. 2-4x over the multicore.  Our
+scaled inputs sit below the GPU's amortization point at the small end
+(kernel dispatch and barrier overheads dominate tiny meshes), so the
+reproduction's GPU speedup *grows* with input size and matches the
+paper's regime at the largest input.
+"""
+
+from harness import emit, table
+from paper_data import FIG7_DMR, SCALE_NOTES
+from repro.vgpu import CostModel
+
+
+def test_fig7_dmr_speedup(dmr_runs, benchmark):
+    cm = CostModel()
+    rows = []
+    for paper_size, run in sorted(dmr_runs.items()):
+        serial_t = cm.serial_time(run["serial"].counter)
+        cpu_t = cm.cpu_time(run["galois"].counter, 48)
+        gpu_t = cm.gpu_time(run["gpu"].counter)
+        paper_bad, paper_g48, paper_gpu = FIG7_DMR[paper_size]
+        rows.append((
+            f"{paper_size}M",
+            f"{run['mesh_tris']}",
+            f"{run['bad']}",
+            f"{paper_g48:.1f}x",
+            f"{serial_t / cpu_t:.1f}x",
+            f"{paper_gpu:.1f}x",
+            f"{serial_t / gpu_t:.1f}x",
+        ))
+    txt = table(["paper input", "our tris", "our bad",
+                 "paper galois48", "ours galois48",
+                 "paper GPU", "ours GPU"], rows)
+    emit("fig7_dmr_speedup", SCALE_NOTES + "\n" + txt)
+
+    # sanity assertions on the reproduced shape
+    largest = max(dmr_runs)
+    run = dmr_runs[largest]
+    serial_t = cm.serial_time(run["serial"].counter)
+    cpu_t = cm.cpu_time(run["galois"].counter, 48)
+    gpu_t = cm.gpu_time(run["gpu"].counter)
+    assert serial_t / cpu_t > 15, "multicore speedup collapsed"
+    assert serial_t / gpu_t > serial_t / cpu_t, \
+        "GPU must beat multicore at the largest input (paper's headline)"
+
+    benchmark.pedantic(lambda: cm.times(run["gpu"].counter,
+                                        run["galois"].counter,
+                                        run["serial"].counter),
+                       rounds=3, iterations=1)

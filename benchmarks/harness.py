@@ -1,0 +1,67 @@
+"""Shared benchmark infrastructure.
+
+* disk cache for expensive inputs (meshes) under ``benchmarks/.cache``,
+* a results sink: every figure benchmark writes its paper-vs-measured
+  table to ``benchmarks/results/<name>.txt`` *and* prints it,
+* small table-formatting helpers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+BENCH_DIR = Path(__file__).resolve().parent
+CACHE_DIR = BENCH_DIR / ".cache"
+RESULTS_DIR = BENCH_DIR / "results"
+
+#: Environment knob: REPRO_BENCH_SCALE divides the default input sizes
+#: (use e.g. REPRO_BENCH_SCALE=10 for a quick smoke pass).
+SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def cached_mesh(n_triangles: int, seed: int = 0):
+    """Random mesh, cached on disk across benchmark runs."""
+    from repro.meshing.generate import random_mesh
+    from repro.meshing.io import load_mesh, save_mesh
+
+    CACHE_DIR.mkdir(exist_ok=True)
+    base = CACHE_DIR / f"mesh_{n_triangles}_{seed}"
+    if (base.with_suffix(".node")).exists():
+        try:
+            return load_mesh(base)
+        except Exception:
+            pass
+    mesh = random_mesh(n_triangles, seed=seed)
+    save_mesh(base, mesh)
+    return mesh
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n", flush=True)
+
+
+def fmt_time(seconds: float) -> str:
+    if seconds != seconds:  # nan
+        return "-"
+    if seconds >= 100:
+        return f"{seconds:8.0f}s "
+    if seconds >= 1:
+        return f"{seconds:8.2f}s "
+    return f"{1000 * seconds:8.2f}ms"
+
+
+def table(headers: list, rows: list) -> str:
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) + 2
+              for i, h in enumerate(headers)] if rows else \
+        [len(str(h)) + 2 for h in headers]
+    out = ["".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    out.append("".join("-" * (w - 1) + " " for w in widths))
+    for r in rows:
+        out.append("".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)

@@ -1,0 +1,68 @@
+"""The paper's published numbers (PPoPP 2013, Section 8), used by every
+benchmark to print paper-vs-reproduction tables.
+
+Times are seconds unless noted.  Inputs are identified by the paper's
+names; the reproduction scales them down (see ``SCALE_NOTES``).
+"""
+
+# ----------------------------------------------------------------- #
+# Fig. 6/7 — DMR.  Input sizes in millions of triangles; speedups
+# over the serial Triangle program.
+FIG7_DMR = {
+    # total Mtris: (bad Mtris, galois48_speedup, gpu_speedup)
+    0.5: (0.26, 27.6, 80.5),
+    1.0: (0.48, 28.6, 54.6),
+    2.0: (0.95, 27.2, 54.8),
+    10.0: (4.75, 26.5, 60.6),
+}
+
+# Fig. 8 — DMR optimization breakdown, 10M-triangle mesh, times in ms.
+FIG8_DMR = [
+    ("Topology-driven with mesh-partitioning", 68000),
+    ("3-phase marking", 10000),
+    ("+ Atomic-free global barrier", 6360),
+    ("+ Optimized memory layout", 5380),
+    ("+ Adaptive parallelism", 2200),
+    ("+ Reduced thread-divergence", 2020),
+    ("+ Single-precision arithmetic", 1020),
+    ("+ On-demand memory allocation", 1140),
+]
+
+# Fig. 9 — SP, times in seconds. (clauses M, literals N, K): (galois48, gpu)
+FIG9_SP = {
+    (4.2e6, 1e6, 3): (108, 35),
+    (8.4e6, 2e6, 3): (230, 73),
+    (12.6e6, 3e6, 3): (336, 117),
+    (16.8e6, 4e6, 3): (445, 157),
+    (9.9e6, 1e6, 4): (3033, 85),
+    (21.1e6, 1e6, 5): (40832, 178),
+    (43.4e6, 1e6, 6): (None, 368),  # multicore ran out of time
+}
+
+# Fig. 10 — PTA, times in ms per benchmark: (vars, cons, serial, galois48, gpu)
+FIG10_PTA = {
+    "186.crafty": (6126, 6768, 595, 86, 44.4),
+    "164.gzip": (1595, 1773, 456, 73, 7.1),
+    "256.bzip2": (1147, 1081, 396, 94, 2.7),
+    "181.mcf": (1230, 1509, 382, 59, 8.7),
+    "183.equake": (1317, 1279, 436, 49, 3.3),
+    "179.art": (586, 603, 485, 72, 7.4),
+}
+FIG10_GEOMEAN_SPEEDUP = 9.3  # GPU over Galois-48
+
+# Fig. 11 — MST, times in seconds: (nodes M, edges M, g2.1.4, g2.1.5, gpu)
+FIG11_MST = {
+    "USA": (23.9, 57.7, 8.2, 3.0, 35.8),
+    "W": (6.3, 15.1, 2.3, 0.8, 9.5),
+    "RMAT20": (1.0, 8.3, 1393.6, 0.4, 26.8),
+    "Random4-20": (1.0, 4.0, 281.9, 0.4, 4.7),
+    "grid-2d-24": (16.8, 33.6, 14.3, 5.0, 71.8),
+    "grid-2d-20": (1.0, 2.0, 0.7, 0.2, 0.9),
+}
+
+SCALE_NOTES = """\
+All inputs are scaled down ~100x from the paper (pure-Python simulation);
+reported comparisons are modeled times on the paper's hardware derived
+from measured operation counts.  See DESIGN.md section 2 and
+EXPERIMENTS.md for the per-experiment scale factors and deviations.
+"""

@@ -1,0 +1,66 @@
+"""Mesh refinement end to end: generate, refine three ways, compare.
+
+The scenario from the paper's Section 2: a triangulated mesh must be
+refined until every triangle has all angles >= 30 degrees.  We run the
+serial baseline (the Triangle-program role), the speculative multicore
+emulation (the Galois role, 48 threads), and the simulated-GPU kernel,
+then compare their work profiles and modeled times — a miniature
+Fig. 6/7.
+
+Run:  python examples/mesh_refinement.py [n_triangles]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.dmr import refine_galois, refine_gpu, refine_sequential
+from repro.meshing import random_mesh, save_svg
+from repro.meshing.io import save_mesh
+from repro.vgpu import CostModel
+
+
+def main(n_triangles: int = 8000) -> None:
+    mesh = random_mesh(n_triangles, seed=42)
+    print(f"input mesh: {mesh.num_triangles} triangles, "
+          f"{mesh.bad_slots().size} bad "
+          f"({100 * mesh.bad_slots().size / mesh.num_triangles:.0f}%)\n")
+
+    cm = CostModel()
+    serial = refine_sequential(mesh.copy())
+    galois = refine_galois(mesh.copy(), threads=48)
+    gpu = refine_gpu(mesh.copy())
+
+    t_serial = cm.serial_time(serial.counter)
+    t_galois = cm.cpu_time(galois.counter, 48)
+    t_gpu = cm.gpu_time(gpu.counter)
+
+    print(f"{'implementation':<26}{'triangles out':>14}{'modeled time':>14}"
+          f"{'speedup':>9}")
+    for name, res, t in (("serial (1 core)", serial, t_serial),
+                         ("galois-style (48 threads)", galois, t_galois),
+                         ("simulated GPU", gpu, t_gpu)):
+        m = res.mesh
+        print(f"{name:<26}{m.num_triangles:>14}{1000 * t:>11.1f} ms"
+              f"{t_serial / t:>8.1f}x")
+        m.validate()
+        assert np.rad2deg(m.min_angles(m.live_slots()).min()) >= 30 - 1e-9
+
+    print(f"\nGPU conflict behavior: {gpu.processed} cavities won, "
+          f"{gpu.aborted_conflicts} backed off "
+          f"(abort ratio {gpu.abort_ratio:.2f}) over {gpu.rounds} kernels")
+    print(f"multicore speculation: {galois.aborted} rollbacks "
+          f"({galois.abort_ratio:.2f})")
+
+    # The refined mesh is a regular Triangle-format pair you can reuse,
+    # and the before/after pictures make the quality change visible
+    # (bad triangles are shaded red).
+    save_mesh("/tmp/refined_example", gpu.mesh)
+    save_svg("/tmp/mesh_before.svg", mesh)
+    save_svg("/tmp/mesh_after.svg", gpu.mesh)
+    print("\nrefined mesh written to /tmp/refined_example.node/.ele; "
+          "pictures in /tmp/mesh_before.svg and /tmp/mesh_after.svg")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8000)

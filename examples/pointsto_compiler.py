@@ -1,0 +1,59 @@
+"""Points-to analysis as a compiler would run it.
+
+The paper's Section 4 workload: Andersen-style inclusion-based
+points-to analysis over constraints extracted from a C program.  We
+synthesize a constraint set shaped like SPEC 2000's 186.crafty, run the
+pull-based GPU analysis, and show how a client (say, an alias checker)
+would consume the result.
+
+Run:  python examples/pointsto_compiler.py
+"""
+
+import numpy as np
+
+from repro.pta import (Kind, andersen_pull, andersen_serial,
+                       generate_spec_like)
+from repro.vgpu import CostModel
+
+
+def may_alias(result, p: int, q: int) -> bool:
+    """Two pointers may alias if their points-to sets intersect."""
+    return bool(np.intersect1d(result.points_to(p), result.points_to(q)).size)
+
+
+def main() -> None:
+    cons = generate_spec_like("186.crafty", seed=0)
+    print(f"constraints ({cons.num_vars} variables, "
+          f"{cons.num_constraints} constraints):")
+    for kind, count in cons.counts().items():
+        print(f"  {kind:<11} {count}")
+
+    result = andersen_pull(cons)
+    print(f"\nfixed point after {result.rounds} rounds: "
+          f"{result.total_facts()} points-to facts, "
+          f"{result.edges_added} copy edges in the constraint graph")
+
+    # Sanity: the serial analysis computes the same solution.
+    assert andersen_serial(cons).total_facts() == result.total_facts()
+
+    # A client query: which address-of'd objects does each hot pointer
+    # reach, and do the two hottest pointers alias?
+    sizes = result.pts.counts()
+    hot = np.argsort(-sizes)[:5]
+    print("\nhottest pointers (largest points-to sets):")
+    for v in hot.tolist():
+        pts = result.points_to(v)
+        shown = ", ".join(map(str, pts[:8].tolist()))
+        more = f", ... ({pts.size} total)" if pts.size > 8 else ""
+        print(f"  v{v}: {{{shown}{more}}}")
+    p, q = int(hot[0]), int(hot[1])
+    print(f"\nmay_alias(v{p}, v{q}) = {may_alias(result, p, q)}")
+
+    cm = CostModel()
+    print(f"\nmodeled GPU analysis time: "
+          f"{1000 * cm.gpu_time(result.counter):.1f} ms "
+          f"(paper, real crafty: 44.4 ms)")
+
+
+if __name__ == "__main__":
+    main()

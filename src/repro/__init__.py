@@ -1,0 +1,37 @@
+"""repro — a reproduction of "Morph Algorithms on GPUs" (PPoPP 2013).
+
+Morph algorithms add and remove nodes and edges of their graph while
+running.  This package rebuilds the paper's whole stack in Python:
+
+* :mod:`repro.core` — the morph toolkit: dynamic CSR graphs, 3-phase
+  conflict resolution, subgraph addition/deletion strategies, adaptive
+  kernel configuration, local worklists, layout and divergence
+  optimizations, ParaMeter-style parallelism profiling.
+* :mod:`repro.vgpu` — the simulated bulk-synchronous GPU (a Tesla
+  C2070 stand-in): launch geometry, atomics with simulated races,
+  barrier models, device memory allocators, and the counts-to-seconds
+  cost model used by every experiment.
+* The four morph algorithms, each with GPU-style and baseline
+  implementations: :mod:`repro.dmr` (Delaunay mesh refinement over the
+  :mod:`repro.meshing` substrate), :mod:`repro.satsp` (survey
+  propagation), :mod:`repro.pta` (Andersen points-to analysis), and
+  :mod:`repro.mst` (Boruvka minimum spanning tree over
+  :mod:`repro.graphgen` inputs).
+
+Quick start::
+
+    from repro.meshing import random_mesh
+    from repro.dmr import refine_gpu
+    from repro.vgpu import CostModel
+
+    mesh = random_mesh(20_000, seed=1)
+    result = refine_gpu(mesh)
+    assert result.converged
+    print(CostModel().gpu_time(result.counter))
+"""
+
+__version__ = "1.0.0"
+
+from . import core, vgpu
+
+__all__ = ["core", "vgpu", "__version__"]

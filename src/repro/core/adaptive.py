@@ -1,0 +1,83 @@
+"""Adaptive kernel configuration (Section 7.4).
+
+"For DMR and PTA, we double the number of threads per block in every
+iteration (starting from an initial value of 64 and 128, respectively)
+for the first three iterations."  SP keeps 1024 fixed; the block count
+is chosen once per run, proportional to input size.
+
+:class:`AdaptiveConfig` reproduces that policy and also offers a
+feedback-driven variant (grow parallelism while the abort ratio stays
+low, shrink when conflicts dominate), which is the natural extension the
+paper hints at ("an adaptive scheme for changing the kernel configuration
+to reduce the abort ratio").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..vgpu.device import GpuSpec, LaunchConfig, TESLA_C2070
+
+__all__ = ["AdaptiveConfig", "FeedbackAdaptiveConfig", "FixedConfig"]
+
+
+@dataclass
+class FixedConfig:
+    """Non-adaptive baseline: the same geometry every iteration."""
+
+    config: LaunchConfig
+
+    def next(self, iteration: int, **_feedback) -> LaunchConfig:
+        return self.config
+
+
+@dataclass
+class AdaptiveConfig:
+    """The paper's policy: double threads/block for the first few rounds."""
+
+    initial_tpb: int = 64
+    doubling_rounds: int = 3
+    blocks: int = 112  # 8x the C2070's 14 SMs by default
+    spec: GpuSpec = field(default_factory=lambda: TESLA_C2070)
+
+    def next(self, iteration: int, **_feedback) -> LaunchConfig:
+        tpb = self.initial_tpb << min(iteration, self.doubling_rounds)
+        tpb = min(tpb, self.spec.max_threads_per_block)
+        return LaunchConfig(blocks=self.blocks, threads_per_block=tpb)
+
+
+@dataclass
+class FeedbackAdaptiveConfig:
+    """Abort-ratio-driven geometry: widen while conflicts are rare.
+
+    ``next`` takes the previous round's ``abort_ratio`` and ``pending``
+    work-item count: parallelism doubles while the abort ratio is below
+    ``low_water``, halves above ``high_water``, and is never wider than
+    the pending work (no point launching idle threads).
+    """
+
+    initial_tpb: int = 64
+    blocks: int = 112
+    low_water: float = 0.1
+    high_water: float = 0.4
+    spec: GpuSpec = field(default_factory=lambda: TESLA_C2070)
+    _tpb: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._tpb = self.initial_tpb
+
+    def next(self, iteration: int, abort_ratio: float = 0.0,
+             pending: int | None = None) -> LaunchConfig:
+        if iteration > 0:
+            if abort_ratio < self.low_water:
+                self._tpb = min(self._tpb * 2, self.spec.max_threads_per_block)
+            elif abort_ratio > self.high_water:
+                self._tpb = max(self._tpb // 2, self.spec.warp_size)
+        tpb = self._tpb
+        if pending is not None and pending > 0:
+            # Clamp total threads to pending work, warp-granular.
+            needed = -(-pending // self.blocks)
+            needed = max(self.spec.warp_size,
+                         self.spec.warp_size * (-(-needed // self.spec.warp_size)))
+            tpb = min(tpb, min(needed, self.spec.max_threads_per_block))
+        return LaunchConfig(blocks=self.blocks, threads_per_block=tpb)

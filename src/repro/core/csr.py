@@ -1,0 +1,246 @@
+"""Compressed sparse row graphs (paper Section 6).
+
+"We store the graphs in compressed sparse row (CSR) format.  Thus, all
+edges are stored contiguously with the edges of a node stored together."
+
+:class:`CSRGraph` is the immutable analysis-friendly form: ``row_starts``
+(n+1 offsets) into ``col_idx`` (edge targets) and optional ``weights``.
+Undirected graphs store each edge twice, once per direction, exactly as
+the paper does for MST and SP.
+
+:class:`DynamicCSR` supports the monotonic edge growth PTA needs: edges
+live in a growable arena with per-node linked segments, and
+:meth:`DynamicCSR.compact` re-packs into contiguous CSR when the host
+decides to (the Kernel-Host strategy).  Growth statistics are exposed for
+the addition-strategy ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CSRGraph", "DynamicCSR", "edges_to_csr"]
+
+
+def edges_to_csr(num_nodes: int, src: np.ndarray, dst: np.ndarray,
+                 weights: np.ndarray | None = None,
+                 dedup: bool = False) -> "CSRGraph":
+    """Build a :class:`CSRGraph` from an edge list (directed as given)."""
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.size and (src.min() < 0 or src.max() >= num_nodes):
+        raise ValueError("source index out of range")
+    if dst.size and (dst.min() < 0 or dst.max() >= num_nodes):
+        raise ValueError("target index out of range")
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    w = weights[order] if weights is not None else None
+    if dedup and src.size:
+        key = src * np.int64(num_nodes) + dst
+        o2 = np.argsort(key, kind="stable")
+        key, src, dst = key[o2], src[o2], dst[o2]
+        if w is not None:
+            w = w[o2]
+        keep = np.concatenate(([True], key[1:] != key[:-1]))
+        src, dst = src[keep], dst[keep]
+        if w is not None:
+            w = w[keep]
+    row_starts = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.add.at(row_starts, src + 1, 1)
+    np.cumsum(row_starts, out=row_starts)
+    return CSRGraph(row_starts=row_starts, col_idx=dst.copy(), weights=w)
+
+
+@dataclass
+class CSRGraph:
+    """Static CSR adjacency structure."""
+
+    row_starts: np.ndarray  # (n+1,) int64
+    col_idx: np.ndarray     # (m,)  int64
+    weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.row_starts = np.ascontiguousarray(self.row_starts, dtype=np.int64)
+        self.col_idx = np.ascontiguousarray(self.col_idx, dtype=np.int64)
+        if self.row_starts[0] != 0 or self.row_starts[-1] != self.col_idx.size:
+            raise ValueError("inconsistent row_starts")
+        if np.any(np.diff(self.row_starts) < 0):
+            raise ValueError("row_starts must be nondecreasing")
+        if self.weights is not None and self.weights.shape != self.col_idx.shape:
+            raise ValueError("weights/col_idx shape mismatch")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return self.row_starts.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.col_idx.size
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.row_starts)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        return self.col_idx[self.row_starts[u]: self.row_starts[u + 1]]
+
+    def edge_weights(self, u: int) -> np.ndarray:
+        if self.weights is None:
+            raise ValueError("graph is unweighted")
+        return self.weights[self.row_starts[u]: self.row_starts[u + 1]]
+
+    def edge_sources(self) -> np.ndarray:
+        """Expand row structure back to a per-edge source array."""
+        return np.repeat(np.arange(self.num_nodes), self.degrees())
+
+    # ------------------------------------------------------------------ #
+    def reverse(self) -> "CSRGraph":
+        """Graph with all edges flipped (incoming-edge CSR)."""
+        return edges_to_csr(self.num_nodes, self.col_idx, self.edge_sources(),
+                            self.weights)
+
+    def with_layout(self, perm: np.ndarray) -> "CSRGraph":
+        """Relabel nodes: new id ``perm[v]`` for old id ``v``.
+
+        Edges are re-bucketed under the new ids; used by the memory-layout
+        optimization (Section 6.1).
+        """
+        perm = np.asarray(perm, dtype=np.int64)
+        if np.sort(perm).tolist() != list(range(self.num_nodes)):
+            raise ValueError("perm must be a permutation of node ids")
+        return edges_to_csr(self.num_nodes, perm[self.edge_sources()],
+                            perm[self.col_idx], self.weights)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors(u)
+        return bool(np.any(nbrs == v))
+
+    def to_networkx(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.num_nodes))
+        src = self.edge_sources()
+        if self.weights is not None:
+            g.add_weighted_edges_from(zip(src.tolist(), self.col_idx.tolist(),
+                                          self.weights.tolist()))
+        else:
+            g.add_edges_from(zip(src.tolist(), self.col_idx.tolist()))
+        return g
+
+
+class DynamicCSR:
+    """A CSR-like structure whose edge set can grow (PTA's constraint graph).
+
+    Edges are appended to a shared arena (doubling growth, like the
+    Host-Only reallocation strategy); each node chains fixed-size
+    *segments* of the arena, so adding edges never moves existing ones
+    within a compaction epoch.  :meth:`compact` rewrites into packed CSR.
+    """
+
+    SEG = 16  # arena slots per segment
+
+    def __init__(self, num_nodes: int, capacity: int = 1024) -> None:
+        self.num_nodes = num_nodes
+        cap_segs = max(1, capacity // self.SEG)
+        self._targets = np.empty(cap_segs * self.SEG, dtype=np.int64)
+        self._seg_next = np.full(cap_segs, -1, dtype=np.int64)  # segment chain
+        self._seg_used = np.zeros(cap_segs, dtype=np.int64)
+        self._head = np.full(num_nodes, -1, dtype=np.int64)   # first segment
+        self._tail = np.full(num_nodes, -1, dtype=np.int64)   # last segment
+        self._n_segs = 0
+        self.num_edges = 0
+        self.reallocs = 0
+
+    # ------------------------------------------------------------------ #
+    def _grow(self) -> None:
+        cap_segs = self._seg_next.size
+        new_cap = cap_segs * 2
+        self._targets = np.resize(self._targets, new_cap * self.SEG)
+        self._seg_next = np.resize(self._seg_next, new_cap)
+        self._seg_used = np.resize(self._seg_used, new_cap)
+        self._seg_next[cap_segs:] = -1
+        self._seg_used[cap_segs:] = 0
+        self.reallocs += 1
+
+    def _new_segment(self) -> int:
+        if self._n_segs == self._seg_next.size:
+            self._grow()
+        s = self._n_segs
+        self._n_segs += 1
+        self._seg_next[s] = -1
+        self._seg_used[s] = 0
+        return s
+
+    def add_edge(self, u: int, v: int, dedup: bool = True) -> bool:
+        """Append edge ``u -> v``; returns False if suppressed as duplicate."""
+        if dedup and self.has_edge(u, v):
+            return False
+        t = self._tail[u]
+        if t < 0 or self._seg_used[t] == self.SEG:
+            s = self._new_segment()
+            if t < 0:
+                self._head[u] = s
+            else:
+                self._seg_next[t] = s
+            self._tail[u] = s
+            t = s
+        self._targets[t * self.SEG + self._seg_used[t]] = v
+        self._seg_used[t] += 1
+        self.num_edges += 1
+        return True
+
+    def add_edges(self, src: np.ndarray, dst: np.ndarray,
+                  dedup: bool = True) -> int:
+        """Bulk edge addition; returns how many edges were new."""
+        added = 0
+        for u, v in zip(np.asarray(src).tolist(), np.asarray(dst).tolist()):
+            added += self.add_edge(int(u), int(v), dedup=dedup)
+        return added
+
+    # ------------------------------------------------------------------ #
+    def neighbors(self, u: int) -> np.ndarray:
+        parts = []
+        s = self._head[u]
+        while s >= 0:
+            n = self._seg_used[s]
+            parts.append(self._targets[s * self.SEG: s * self.SEG + n])
+            s = self._seg_next[s]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        s = self._head[u]
+        while s >= 0:
+            n = self._seg_used[s]
+            if np.any(self._targets[s * self.SEG: s * self.SEG + n] == v):
+                return True
+            s = self._seg_next[s]
+        return False
+
+    def degrees(self) -> np.ndarray:
+        out = np.zeros(self.num_nodes, dtype=np.int64)
+        for u in range(self.num_nodes):
+            s = self._head[u]
+            while s >= 0:
+                out[u] += self._seg_used[s]
+                s = self._seg_next[s]
+        return out
+
+    def compact(self) -> CSRGraph:
+        """Pack into a contiguous :class:`CSRGraph` (host-side rebuild)."""
+        srcs = []
+        dsts = []
+        for u in range(self.num_nodes):
+            nbrs = self.neighbors(u)
+            if nbrs.size:
+                srcs.append(np.full(nbrs.size, u, dtype=np.int64))
+                dsts.append(nbrs)
+        if not srcs:
+            return CSRGraph(np.zeros(self.num_nodes + 1, dtype=np.int64),
+                            np.empty(0, dtype=np.int64))
+        return edges_to_csr(self.num_nodes, np.concatenate(srcs),
+                            np.concatenate(dsts))

@@ -1,0 +1,115 @@
+"""Subgraph-deletion strategies (Section 7.2).
+
+* :class:`MarkingDeletion` — set a flag, keep storage.  SP's decimation:
+  "simple to implement, reduces synchronization bugs, and usually
+  performs well as long as only a small fraction of the entire graph is
+  deleted."
+* :class:`ExplicitDeletion` — free the storage immediately so additions
+  can reuse it; suitable for local deletions, with optional compaction
+  when the live fraction drops too low.
+* :class:`RecycleDeletion` — application-managed reuse: deleted slots go
+  on a free list and are handed to subsequent additions if the new data
+  fits; DMR recycles cavity triangles this way.
+
+Every strategy implements ``delete(ids)`` / ``is_deleted()`` / bookkeeping
+for the deletion ablation.  All operate on *slot-indexed* element arrays,
+the layout every algorithm here uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..vgpu.memory import DeviceAllocator, RecyclePool
+
+__all__ = ["MarkingDeletion", "ExplicitDeletion", "RecycleDeletion"]
+
+
+class MarkingDeletion:
+    """Flag-only deletion over a fixed slot range."""
+
+    def __init__(self, capacity: int) -> None:
+        self.deleted = np.zeros(capacity, dtype=bool)
+        self.num_deleted = 0
+
+    def grow(self, capacity: int) -> None:
+        if capacity > self.deleted.size:
+            extra = np.zeros(capacity - self.deleted.size, dtype=bool)
+            self.deleted = np.concatenate([self.deleted, extra])
+
+    def delete(self, ids) -> None:
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        fresh = ~self.deleted[ids]
+        self.deleted[ids] = True
+        self.num_deleted += int(fresh.sum())
+
+    def is_deleted(self, ids=None) -> np.ndarray:
+        return self.deleted if ids is None else self.deleted[ids]
+
+    def live_ids(self) -> np.ndarray:
+        return np.flatnonzero(~self.deleted)
+
+    def dead_fraction(self) -> float:
+        return self.num_deleted / self.deleted.size if self.deleted.size else 0.0
+
+
+class ExplicitDeletion(MarkingDeletion):
+    """Freeing deletion with threshold-triggered compaction.
+
+    ``compact()`` returns ``(new_count, old_to_new)`` where ``old_to_new``
+    maps surviving old slots to their packed positions (and -1 for dead
+    slots); callers re-index their element arrays with it.  Compaction
+    cost (words moved) is tallied for the ablation.
+    """
+
+    def __init__(self, capacity: int, alloc: DeviceAllocator | None = None,
+                 compact_threshold: float = 0.5) -> None:
+        super().__init__(capacity)
+        self.alloc = alloc or DeviceAllocator()
+        self.compact_threshold = compact_threshold
+        self.compactions = 0
+        self.words_moved = 0
+
+    def should_compact(self) -> bool:
+        return self.dead_fraction() > self.compact_threshold
+
+    def compact(self) -> tuple[int, np.ndarray]:
+        live = ~self.deleted
+        old_to_new = np.full(self.deleted.size, -1, dtype=np.int64)
+        n_live = int(live.sum())
+        old_to_new[live] = np.arange(n_live)
+        self.words_moved += n_live
+        self.compactions += 1
+        self.deleted = np.zeros(n_live, dtype=bool)
+        self.num_deleted = 0
+        return n_live, old_to_new
+
+
+class RecycleDeletion(MarkingDeletion):
+    """Marking plus a free list feeding subsequent allocations (DMR)."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self.pool = RecyclePool()
+
+    def delete(self, ids) -> None:
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        fresh = ids[~self.deleted[ids]]
+        super().delete(ids)
+        self.pool.release(fresh)
+
+    def allocate(self, n: int, tail_start: int) -> tuple[np.ndarray, int]:
+        """Hand out ``n`` slots: recycled ones first, then fresh tail slots.
+
+        ``tail_start`` is the current end of the element array; returns
+        ``(slots, new_tail)`` where slots beyond ``tail_start`` require the
+        caller to grow its arrays (via an addition strategy).
+        """
+        recycled = self.pool.acquire(n)
+        self.deleted[recycled] = False
+        self.num_deleted -= recycled.size
+        fresh_needed = n - recycled.size
+        fresh = np.arange(tail_start, tail_start + fresh_needed, dtype=np.int64)
+        new_tail = tail_start + fresh_needed
+        self.grow(new_tail)
+        return np.concatenate([recycled, fresh]), new_tail

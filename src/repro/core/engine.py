@@ -1,0 +1,120 @@
+"""A generic morph-algorithm round engine.
+
+Every GPU morph implementation in this repository — DMR refinement,
+concurrent Delaunay insertion — follows one round skeleton:
+
+    while work remains:
+        plan:   each active item computes the subgraph it must own
+        mark:   3-phase conflict resolution over the claimed elements
+        apply:  winners mutate the graph; losers back off and retry
+
+:func:`run_morph_rounds` packages that skeleton for new algorithms: the
+caller supplies three callbacks and gets conflict resolution, progress
+guarantees, per-round accounting and abort statistics for free.  The
+engine is deliberately small — it is the "insights into how other morph
+algorithms can be efficiently implemented" (Section 1) distilled into a
+reusable harness, and the test suite exercises it on a workload none of
+the four paper algorithms cover (greedy graph coloring by speculative
+recoloring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .conflict import three_phase_mark
+from .counters import OpCounter
+from .ragged import Ragged
+
+__all__ = ["MorphPlan", "MorphStats", "run_morph_rounds"]
+
+
+@dataclass
+class MorphPlan:
+    """One item's planned operation: the elements it must own, plus an
+    opaque token handed back to ``apply``."""
+
+    item: int
+    claims: Sequence[int]
+    token: object = None
+
+
+@dataclass
+class MorphStats:
+    rounds: int = 0
+    applied: int = 0
+    aborted: int = 0
+    parallelism: list = field(default_factory=list)
+
+    @property
+    def abort_ratio(self) -> float:
+        total = self.applied + self.aborted
+        return self.aborted / total if total else 0.0
+
+
+def run_morph_rounds(
+    active: Callable[[], Sequence[int]],
+    plan: Callable[[Sequence[int], np.random.Generator], Iterable[MorphPlan]],
+    apply: Callable[[MorphPlan], bool],
+    num_elements: Callable[[], int],
+    *,
+    rng: np.random.Generator | None = None,
+    counter: OpCounter | None = None,
+    kernel: str = "morph.round",
+    max_rounds: int = 1_000_000,
+    ensure_progress: bool = True,
+) -> MorphStats:
+    """Drive plan/mark/apply rounds until ``active()`` is empty.
+
+    * ``active()`` — current work items (re-evaluated every round);
+    * ``plan(items, rng)`` — yields a :class:`MorphPlan` per item that
+      still wants to run (items may drop out by yielding nothing);
+    * ``apply(plan)`` — performs a winner's mutation; returns False to
+      signal a failed (retryable) application;
+    * ``num_elements()`` — size of the claimable element space.
+
+    Raises ``RuntimeError`` if ``max_rounds`` is exceeded or if a round
+    with pending plans makes no progress twice in a row (a livelock that
+    ``ensure_progress`` should normally preclude).
+    """
+    rng = rng or np.random.default_rng(0)
+    ctr = counter or OpCounter()
+    stats = MorphStats()
+    stalled = 0
+    while stats.rounds < max_rounds:
+        items = list(active())
+        if not items:
+            return stats
+        stats.rounds += 1
+        plans = list(plan(items, rng))
+        if not plans:
+            return stats
+        claims = Ragged.from_lists([list(p.claims) for p in plans])
+        res = three_phase_mark(num_elements(), claims, rng,
+                               priorities=rng.permutation(len(plans)),
+                               ensure_progress=ensure_progress)
+        wins = 0
+        for j in np.flatnonzero(res.winners):
+            if apply(plans[int(j)]):
+                wins += 1
+            else:
+                stats.aborted += 1
+        stats.applied += wins
+        stats.aborted += res.num_aborted
+        stats.parallelism.append(wins)
+        ctr.launch(kernel, items=len(plans),
+                   aborted=len(plans) - wins,
+                   barriers=res.barriers + 1,
+                   word_writes=res.mark_writes,
+                   work_per_thread=claims.lengths())
+        if wins == 0:
+            stalled += 1
+            if stalled >= 2:
+                raise RuntimeError("morph engine stalled: no winner "
+                                   "applied in two consecutive rounds")
+        else:
+            stalled = 0
+    raise RuntimeError("morph engine exceeded max_rounds")

@@ -1,0 +1,81 @@
+"""Ragged arrays: per-thread variable-length claims/worklists.
+
+A :class:`Ragged` is the CSR-style pair ``(offsets, values)``: row ``i``
+holds ``values[offsets[i]:offsets[i+1]]``.  It is the currency between
+the conflict-resolution engine (each active thread's claimed elements),
+the divergence estimator (per-thread work), and the local worklists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Ragged"]
+
+
+@dataclass
+class Ragged:
+    offsets: np.ndarray  # (n+1,) int64
+    values: np.ndarray   # (total,) int64
+
+    def __post_init__(self) -> None:
+        self.offsets = np.ascontiguousarray(self.offsets, dtype=np.int64)
+        self.values = np.ascontiguousarray(self.values)
+        if self.offsets.size == 0 or self.offsets[0] != 0:
+            raise ValueError("offsets must start at 0")
+        if self.offsets[-1] != self.values.size:
+            raise ValueError("offsets[-1] must equal len(values)")
+        if np.any(np.diff(self.offsets) < 0):
+            raise ValueError("offsets must be nondecreasing")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_lists(cls, rows: Sequence[Iterable[int]], dtype=np.int64) -> "Ragged":
+        lengths = np.fromiter((len(r) for r in rows), dtype=np.int64,
+                              count=len(rows))
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        if offsets[-1] == 0:
+            return cls(offsets, np.empty(0, dtype=dtype))
+        values = np.concatenate([np.asarray(list(r), dtype=dtype) for r in rows
+                                 if len(r)])
+        return cls(offsets, values)
+
+    @property
+    def num_rows(self) -> int:
+        return self.offsets.size - 1
+
+    def lengths(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def row(self, i: int) -> np.ndarray:
+        return self.values[self.offsets[i]: self.offsets[i + 1]]
+
+    def row_ids(self) -> np.ndarray:
+        """Per-value row index (the 'which thread owns this claim' array)."""
+        return np.repeat(np.arange(self.num_rows), self.lengths())
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __iter__(self):
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    def total(self) -> int:
+        return int(self.values.size)
+
+    def select_rows(self, mask_or_idx) -> "Ragged":
+        """New ragged with only the selected rows."""
+        idx = np.flatnonzero(mask_or_idx) if np.asarray(mask_or_idx).dtype == bool \
+            else np.asarray(mask_or_idx, dtype=np.int64)
+        lengths = self.lengths()[idx]
+        offsets = np.zeros(idx.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        if offsets[-1] == 0:
+            return Ragged(offsets, np.empty(0, dtype=self.values.dtype))
+        parts = [self.row(int(i)) for i in idx]
+        return Ragged(offsets, np.concatenate(parts))

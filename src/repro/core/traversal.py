@@ -1,0 +1,118 @@
+"""Non-morph graph kernels: level-synchronous BFS and SSSP.
+
+The paper positions morph algorithms against the *analysis* algorithms
+earlier GPU work handled (BFS, SSSP [10]): those never change the
+graph, so a static CSR suffices.  These two kernels provide that
+reference point — the same bulk-synchronous round structure and
+counting as the morph implementations, but with zero graph mutation —
+and double as utilities (connected components for the MST tests, hop
+distances for layout experiments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .counters import OpCounter
+from .csr import CSRGraph
+
+__all__ = ["bfs_levels", "sssp_bellman_ford", "connected_components"]
+
+_UNREACHED = np.int64(-1)
+
+
+def bfs_levels(graph: CSRGraph, source: int, *,
+               counter: OpCounter | None = None) -> np.ndarray:
+    """Hop distance from ``source`` (-1 where unreachable).
+
+    Level-synchronous frontier expansion: one kernel launch per level,
+    as in Harish & Narayanan's formulation the paper cites.
+    """
+    ctr = counter or OpCounter()
+    n = graph.num_nodes
+    level = np.full(n, _UNREACHED)
+    level[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        depth += 1
+        # gather all neighbors of the frontier
+        starts = graph.row_starts[frontier]
+        stops = graph.row_starts[frontier + 1]
+        total = int((stops - starts).sum())
+        if total == 0:
+            break
+        idx = np.concatenate([np.arange(a, b) for a, b in
+                              zip(starts.tolist(), stops.tolist())])
+        nbrs = graph.col_idx[idx]
+        fresh = np.unique(nbrs[level[nbrs] < 0])
+        level[fresh] = depth
+        ctr.launch("bfs.level", items=int(frontier.size),
+                   word_reads=total + frontier.size,
+                   word_writes=int(fresh.size), barriers=1,
+                   work_per_thread=(stops - starts))
+        frontier = fresh
+    return level
+
+
+def sssp_bellman_ford(graph: CSRGraph, source: int, *,
+                      counter: OpCounter | None = None,
+                      max_rounds: int | None = None) -> np.ndarray:
+    """Single-source shortest paths by round-based edge relaxation.
+
+    Requires non-negative weights for meaningful results (no negative-
+    cycle detection is attempted beyond the round cap).  Returns
+    distances with ``inf`` for unreachable nodes.
+    """
+    if graph.weights is None:
+        raise ValueError("graph must be weighted")
+    ctr = counter or OpCounter()
+    n = graph.num_nodes
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    src = graph.edge_sources()
+    dst = graph.col_idx
+    w = graph.weights.astype(np.float64)
+    cap = max_rounds if max_rounds is not None else n
+    for _ in range(cap):
+        cand = dist[src] + w
+        new = np.full(n, np.inf)
+        np.minimum.at(new, dst, cand)
+        improved = new < dist
+        if not improved.any():
+            break
+        dist = np.minimum(dist, new)
+        ctr.launch("sssp.relax", items=int(src.size),
+                   word_reads=3 * int(src.size),
+                   word_writes=int(improved.sum()),
+                   atomics=int(src.size), barriers=1)
+    return dist
+
+
+def connected_components(graph: CSRGraph, *,
+                         counter: OpCounter | None = None) -> np.ndarray:
+    """Component id per node (undirected interpretation), by pointer
+    jumping over min-neighbor propagation — the MST kernels' label
+    machinery in isolation."""
+    ctr = counter or OpCounter()
+    n = graph.num_nodes
+    comp = np.arange(n, dtype=np.int64)
+    src = graph.edge_sources()
+    dst = graph.col_idx
+    rounds = 0
+    while True:
+        rounds += 1
+        new = comp.copy()
+        np.minimum.at(new, src, comp[dst])
+        np.minimum.at(new, dst, comp[src])
+        # pointer jumping to the current minimum label
+        while True:
+            hop = new[new]
+            if np.array_equal(hop, new):
+                break
+            new = hop
+        ctr.launch("cc.round", items=n, word_reads=2 * int(src.size),
+                   word_writes=n, barriers=1)
+        if np.array_equal(new, comp):
+            return comp
+        comp = new

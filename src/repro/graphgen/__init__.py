@@ -1,0 +1,15 @@
+"""Input graph generators for MST (paper Fig. 11).
+
+The paper's MST inputs are two road networks (USA, Western US), RMAT20,
+Random4-20, and two 2-D grids.  Road networks are proprietary-ish DIMACS
+downloads, so :func:`road_network` synthesizes the same regime: planar,
+spatially embedded, degree ~2-4, Euclidean-ish weights.
+"""
+
+from .generators import (grid2d, random_graph, rmat, road_network,
+                         undirected_edges_to_csr)
+from .io import read_dimacs_graph, write_dimacs_graph
+
+__all__ = ["grid2d", "random_graph", "rmat", "road_network",
+           "undirected_edges_to_csr", "read_dimacs_graph",
+           "write_dimacs_graph"]

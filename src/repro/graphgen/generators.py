@@ -1,0 +1,116 @@
+"""Synthetic graph generators (undirected, integer-weighted).
+
+All generators return ``(num_nodes, src, dst, weight)`` edge lists with
+each undirected edge listed once (``src < dst``), no self-loops, no
+parallel edges.  :func:`undirected_edges_to_csr` doubles them into the
+paper's CSR representation ("for undirected graphs we store each edge
+twice, once for each direction", Section 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.csr import CSRGraph, edges_to_csr
+
+__all__ = ["rmat", "random_graph", "grid2d", "road_network",
+           "undirected_edges_to_csr"]
+
+_MAX_W = 1 << 24
+
+
+def _dedupe(num_nodes: int, src: np.ndarray, dst: np.ndarray,
+            rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Drop self-loops and duplicates; attach random integer weights."""
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    key = lo * np.int64(num_nodes) + hi
+    _, idx = np.unique(key, return_index=True)
+    lo, hi = lo[idx], hi[idx]
+    w = rng.integers(1, _MAX_W, size=lo.size, dtype=np.int64)
+    return lo, hi, w
+
+
+def undirected_edges_to_csr(num_nodes: int, src: np.ndarray, dst: np.ndarray,
+                            weight: np.ndarray) -> CSRGraph:
+    """Symmetric CSR with every undirected edge stored in both directions."""
+    s = np.concatenate([src, dst])
+    d = np.concatenate([dst, src])
+    w = np.concatenate([weight, weight])
+    return edges_to_csr(num_nodes, s, d, w)
+
+
+def rmat(scale: int, edge_factor: int = 8, a: float = 0.57, b: float = 0.19,
+         c: float = 0.19, seed: int = 0):
+    """RMAT power-law graph: 2**scale nodes, ~edge_factor * n edges."""
+    n = 1 << scale
+    m = edge_factor * n
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(m)
+        # quadrant probabilities (a | b / c | d)
+        go_right = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        go_down = r >= a + b
+        src |= go_down.astype(np.int64) << bit
+        dst |= go_right.astype(np.int64) << bit
+    lo, hi, w = _dedupe(n, src, dst, rng)
+    return n, lo, hi, w
+
+
+def random_graph(num_nodes: int, num_edges: int, seed: int = 0):
+    """Uniform random multigraph, deduplicated (Erdos-Renyi flavor)."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=int(num_edges * 1.1) + 8,
+                       dtype=np.int64)
+    dst = rng.integers(0, num_nodes, size=src.size, dtype=np.int64)
+    lo, hi, w = _dedupe(num_nodes, src, dst, rng)
+    if lo.size > num_edges:
+        pick = rng.choice(lo.size, size=num_edges, replace=False)
+        lo, hi, w = lo[pick], hi[pick], w[pick]
+    return num_nodes, lo, hi, w
+
+
+def grid2d(side: int, seed: int = 0):
+    """side x side 4-neighbor grid (the paper's grid-2d inputs)."""
+    rng = np.random.default_rng(seed)
+    n = side * side
+    idx = np.arange(n, dtype=np.int64)
+    right = idx[(idx % side) != side - 1]
+    down = idx[idx < n - side]
+    src = np.concatenate([right, down])
+    dst = np.concatenate([right + 1, down + side])
+    w = rng.integers(1, _MAX_W, size=src.size, dtype=np.int64)
+    return n, src, dst, w
+
+
+def road_network(num_nodes: int, seed: int = 0, drop: float = 0.22):
+    """Road-network-like graph: planar-ish, sparse, Euclidean weights.
+
+    A jittered grid with a fraction of links removed and a sprinkling of
+    diagonals reproduces the degree distribution (mean ~2.4 incident
+    edges per node, as in the USA network) and the spatial weight
+    correlation that makes road MSTs behave as they do.
+    """
+    rng = np.random.default_rng(seed)
+    side = int(np.ceil(np.sqrt(num_nodes)))
+    n = side * side
+    x = (np.arange(n) % side) + 0.3 * rng.standard_normal(n)
+    y = (np.arange(n) // side) + 0.3 * rng.standard_normal(n)
+    idx = np.arange(n, dtype=np.int64)
+    right = idx[(idx % side) != side - 1]
+    down = idx[idx < n - side]
+    diag = idx[((idx % side) != side - 1) & (idx < n - side)]
+    diag = diag[rng.random(diag.size) < 0.15]
+    src = np.concatenate([right, down, diag])
+    dst = np.concatenate([right + 1, down + side, diag + side + 1])
+    keep = rng.random(src.size) >= drop
+    src, dst = src[keep], dst[keep]
+    dist = np.hypot(x[src] - x[dst], y[src] - y[dst])
+    w = np.maximum(1, (dist * 4096).astype(np.int64))
+    # small random jitter so exact ties are rare
+    w = w * 64 + rng.integers(0, 64, size=w.size, dtype=np.int64)
+    return n, src, dst, w

@@ -1,0 +1,44 @@
+"""DIMACS graph I/O (the format the paper's road networks ship in).
+
+The 9th DIMACS challenge ``.gr`` format::
+
+    c comment
+    p sp <nodes> <arcs>
+    a <src> <dst> <weight>     (1-based, one directed arc per line)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_dimacs_graph", "read_dimacs_graph"]
+
+
+def write_dimacs_graph(path, num_nodes: int, src: np.ndarray,
+                       dst: np.ndarray, weight: np.ndarray) -> None:
+    """Write an undirected edge list as DIMACS arcs (both directions)."""
+    with open(path, "w") as f:
+        f.write(f"p sp {num_nodes} {2 * src.size}\n")
+        for s, d, w in zip(src.tolist(), dst.tolist(), weight.tolist()):
+            f.write(f"a {s + 1} {d + 1} {w}\n")
+            f.write(f"a {d + 1} {s + 1} {w}\n")
+
+
+def read_dimacs_graph(path):
+    """Read a DIMACS ``.gr`` file into an undirected once-per-edge list."""
+    num_nodes = 0
+    srcs, dsts, ws = [], [], []
+    for line in Path(path).read_text().splitlines():
+        if line.startswith("p"):
+            num_nodes = int(line.split()[2])
+        elif line.startswith("a"):
+            _, s, d, w = line.split()
+            s, d = int(s) - 1, int(d) - 1
+            if s < d:  # keep each undirected edge once
+                srcs.append(s)
+                dsts.append(d)
+                ws.append(int(w))
+    return (num_nodes, np.asarray(srcs, dtype=np.int64),
+            np.asarray(dsts, dtype=np.int64), np.asarray(ws, dtype=np.int64))

@@ -1,0 +1,92 @@
+"""Triangle-compatible mesh I/O.
+
+Shewchuk's Triangle program — the paper's sequential DMR baseline —
+reads and writes meshes as ``.node`` (vertices) and ``.ele`` (triangles)
+files.  Supporting the same format lets inputs round-trip with Triangle
+for spot checks and makes generated meshes reusable outside this repo.
+
+Format reference: https://www.cs.cmu.edu/~quake/triangle.node.html
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .mesh import TriMesh
+
+__all__ = ["write_node", "write_ele", "read_node", "read_ele",
+           "save_mesh", "load_mesh"]
+
+
+def _strip_comments(text: str) -> list[list[str]]:
+    rows = []
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            rows.append(line.split())
+    return rows
+
+
+def write_node(path, px: np.ndarray, py: np.ndarray) -> None:
+    with open(path, "w") as f:
+        f.write(f"{px.size} 2 0 0\n")
+        for i in range(px.size):
+            f.write(f"{i} {float(px[i])!r} {float(py[i])!r}\n")
+
+
+def write_ele(path, tris: np.ndarray) -> None:
+    with open(path, "w") as f:
+        f.write(f"{tris.shape[0]} 3 0\n")
+        for i, (a, b, c) in enumerate(tris):
+            f.write(f"{i} {a} {b} {c}\n")
+
+
+def read_node(path) -> tuple[np.ndarray, np.ndarray]:
+    rows = _strip_comments(Path(path).read_text())
+    n, dim = int(rows[0][0]), int(rows[0][1])
+    if dim != 2:
+        raise ValueError("only 2-D .node files supported")
+    body = rows[1: 1 + n]
+    first = int(body[0][0]) if body else 0  # Triangle allows 0- or 1-based ids
+    px = np.empty(n)
+    py = np.empty(n)
+    for row in body:
+        i = int(row[0]) - first
+        px[i], py[i] = float(row[1]), float(row[2])
+    return px, py
+
+
+def read_ele(path) -> np.ndarray:
+    rows = _strip_comments(Path(path).read_text())
+    n, nodes_per = int(rows[0][0]), int(rows[0][1])
+    if nodes_per != 3:
+        raise ValueError("only linear (3-node) elements supported")
+    body = rows[1: 1 + n]
+    first = int(body[0][0]) if body else 0
+    tris = np.empty((n, 3), dtype=np.int64)
+    vfirst = None
+    raw = np.empty((n, 3), dtype=np.int64)
+    for row in body:
+        i = int(row[0]) - first
+        raw[i] = [int(row[1]), int(row[2]), int(row[3])]
+    vfirst = int(raw.min()) if n else 0  # detect 1-based vertex ids
+    tris[:] = raw - (1 if vfirst == 1 else 0)
+    return tris
+
+
+def save_mesh(basepath, mesh: TriMesh) -> None:
+    """Write ``<base>.node`` and ``<base>.ele`` for the live triangles."""
+    base = str(basepath)
+    live = mesh.live_slots()
+    write_node(base + ".node", mesh.px[: mesh.n_pts], mesh.py[: mesh.n_pts])
+    write_ele(base + ".ele", mesh.tri[live])
+
+
+def load_mesh(basepath, min_angle_deg: float = 30.0) -> TriMesh:
+    base = str(basepath)
+    px, py = read_node(base + ".node")
+    tris = read_ele(base + ".ele")
+    return TriMesh(px, py, tris, min_angle_deg=min_angle_deg)

@@ -1,0 +1,60 @@
+"""Tiny dependency-free SVG export for meshes.
+
+Handy for eyeballing refinement results and for documentation figures:
+bad triangles are shaded, so before/after pictures of DMR show the
+quality constraint visibly emptying out.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .mesh import TriMesh
+
+__all__ = ["mesh_to_svg", "save_svg"]
+
+
+def mesh_to_svg(mesh: TriMesh, *, width: int = 800, stroke: str = "#334",
+                fill_good: str = "#eef2f7", fill_bad: str = "#f4b6b6",
+                stroke_width: float = 0.6) -> str:
+    """Render the live triangles as an SVG string (bad ones shaded)."""
+    live = mesh.live_slots()
+    if live.size == 0:
+        raise ValueError("mesh has no live triangles")
+    xs = mesh.px[: mesh.n_pts]
+    ys = mesh.py[: mesh.n_pts]
+    x0, x1 = float(xs.min()), float(xs.max())
+    y0, y1 = float(ys.min()), float(ys.max())
+    span = max(x1 - x0, y1 - y0, 1e-12)
+    height = int(round(width * (y1 - y0) / span)) or width
+
+    def sx(x: float) -> float:
+        return (x - x0) / span * (width - 2) + 1
+
+    def sy(y: float) -> float:
+        # SVG's y axis points down; flip so the mesh reads naturally.
+        return height - ((y - y0) / span * (width - 2) + 1)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<g stroke="{stroke}" stroke-width="{stroke_width}" '
+        f'stroke-linejoin="round">',
+    ]
+    for t in live.tolist():
+        a, b, c = (int(v) for v in mesh.tri[t])
+        pts = " ".join(f"{sx(mesh.px[v]):.2f},{sy(mesh.py[v]):.2f}"
+                       for v in (a, b, c))
+        fill = fill_bad if mesh.isbad[t] else fill_good
+        parts.append(f'<polygon points="{pts}" fill="{fill}"/>')
+    parts.append("</g></svg>")
+    return "\n".join(parts)
+
+
+def save_svg(path, mesh: TriMesh, **kwargs) -> Path:
+    """Write the mesh rendering to ``path``; returns the path."""
+    p = Path(path)
+    p.write_text(mesh_to_svg(mesh, **kwargs))
+    return p

@@ -1,0 +1,10 @@
+"""Boruvka minimum spanning tree (paper Sections 5, 6.5, 8.4)."""
+
+from .boruvka_gpu import MSTResult, boruvka_gpu
+from .boruvka_merge import boruvka_merge
+from .boruvka_unionfind import boruvka_unionfind
+from .kruskal import kruskal
+from .prim import prim
+
+__all__ = ["MSTResult", "boruvka_gpu", "boruvka_merge",
+           "boruvka_unionfind", "kruskal", "prim"]

@@ -1,0 +1,98 @@
+"""Component-based multicore Boruvka (the Galois 2.1.5 baseline).
+
+"We modified the Galois implementation (in version 2.1.5) to also use a
+component-based approach.  Additionally, the new multicore code
+incorporates a fast union-find data structure that maintains groups of
+nodes, keeps the graph unmodified, and employs a bulk-synchronous
+executor."  (Section 8.4)
+
+Bulk-synchronous rounds over the *original* edge list: per-node minimum
+inter-component edge, per-component minimum, union by the cycle-break
+rule, with a path-compressing union-find instead of the GPU's pointer
+jumping.  No adjacency lists are ever merged, so per-round cost stays
+O(n + m) regardless of density — which is why this version beats the
+explicit-merging one everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.counters import OpCounter
+from .boruvka_gpu import MSTResult
+
+__all__ = ["boruvka_unionfind"]
+
+_INF = np.int64(2**62)
+
+
+def boruvka_unionfind(num_nodes: int, src: np.ndarray, dst: np.ndarray,
+                      weight: np.ndarray, *, counter: OpCounter | None = None,
+                      max_rounds: int = 128) -> MSTResult:
+    ctr = counter or OpCounter()
+    m = src.size
+    und = np.arange(m, dtype=np.int64)
+    key = (weight.astype(np.int64) << 31) | und
+
+    parent = np.arange(num_nodes, dtype=np.int64)
+
+    def find_all(x: np.ndarray) -> np.ndarray:
+        # vectorized find with full path compression between rounds
+        root = parent[x]
+        while True:
+            nxt = parent[root]
+            if np.array_equal(nxt, root):
+                return root
+            root = nxt
+
+    chosen: list[np.ndarray] = []
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        # flatten union-find (bulk-synchronous compression pass)
+        while True:
+            nxt = parent[parent]
+            if np.array_equal(nxt, parent):
+                break
+            parent = nxt
+        cs = parent[src]
+        cd = parent[dst]
+        valid = cs != cd
+        if not valid.any():
+            break
+        # per-component minimum edge (atomic min per endpoint component)
+        comp_min = np.full(num_nodes, _INF, dtype=np.int64)
+        np.minimum.at(comp_min, cs[valid], key[valid])
+        np.minimum.at(comp_min, cd[valid], key[valid])
+        reps = np.flatnonzero(comp_min < _INF)
+        edge_id = comp_min[reps] & ((1 << 31) - 1)
+        eu = parent[src[edge_id]]
+        ev = parent[dst[edge_id]]
+        partner_arr = np.arange(num_nodes, dtype=np.int64)
+        partner_arr[reps] = np.where(eu == reps, ev, eu)
+        two_cycle = partner_arr[partner_arr] == np.arange(num_nodes)
+        rep_side = two_cycle & (np.arange(num_nodes) < partner_arr)
+        partner_arr[rep_side] = np.arange(num_nodes)[rep_side]
+        merging = (comp_min < _INF) & \
+            (partner_arr != np.arange(num_nodes))
+        chosen.append((comp_min[merging] & ((1 << 31) - 1)))
+        parent = partner_arr[parent]
+        # work: one edge scan + one union pass, spread over the threads
+        per_item = np.bincount(np.concatenate([cs[valid], cd[valid]]),
+                               minlength=num_nodes)
+        ctr.launch("uf.round", items=num_nodes,
+                   word_reads=3 * int(valid.sum()) + 2 * num_nodes,
+                   word_writes=num_nodes,
+                   atomics=2 * int(merging.sum()),
+                   barriers=1, work_per_thread=per_item)
+    mst = np.unique(np.concatenate(chosen)) if chosen else \
+        np.empty(0, dtype=np.int64)
+    total = int(weight[mst].sum())
+    while True:
+        nxt = parent[parent]
+        if np.array_equal(nxt, parent):
+            break
+        parent = nxt
+    n_comp = int(np.unique(parent).size)
+    return MSTResult(mst_edges=mst, total_weight=total, counter=ctr,
+                     rounds=rounds, num_components=n_comp)

@@ -1,0 +1,51 @@
+"""Kruskal's algorithm: the correctness oracle for the Boruvka variants.
+
+Sort edges by weight, union-find with union by size and path
+compression.  Also the reproduction's serial MST reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.counters import OpCounter
+from .boruvka_gpu import MSTResult
+
+__all__ = ["kruskal"]
+
+
+def kruskal(num_nodes: int, src: np.ndarray, dst: np.ndarray,
+            weight: np.ndarray, *,
+            counter: OpCounter | None = None) -> MSTResult:
+    ctr = counter or OpCounter()
+    m = src.size
+    order = np.lexsort((np.arange(m), weight))
+    parent = np.arange(num_nodes, dtype=np.int64)
+    size = np.ones(num_nodes, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = int(parent[root])
+        while parent[x] != root:
+            parent[x], x = root, int(parent[x])
+        return root
+
+    chosen = []
+    for e in order.tolist():
+        a, b = find(int(src[e])), find(int(dst[e]))
+        if a == b:
+            continue
+        if size[a] < size[b]:
+            a, b = b, a
+        parent[b] = a
+        size[a] += size[b]
+        chosen.append(e)
+        if len(chosen) == num_nodes - 1:
+            break
+    mst = np.asarray(sorted(chosen), dtype=np.int64)
+    ctr.launch("kruskal", items=m, word_reads=4 * m, word_writes=m,
+               work_per_thread=np.asarray([3 * m]))
+    roots = {find(v) for v in range(num_nodes)}
+    return MSTResult(mst_edges=mst, total_weight=int(weight[mst].sum()),
+                     counter=ctr, rounds=1, num_components=len(roots))

@@ -1,0 +1,65 @@
+"""Prim's algorithm with a binary heap: a second serial MST baseline.
+
+Complements Kruskal as an oracle and serves as the serial reference the
+cost model prices for MST (the paper's Fig. 11 has no serial column,
+but the examples and ablations use Prim for per-edge-rate context).
+Handles disconnected inputs by restarting from every unreached node
+(computes the minimum spanning forest).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..core.counters import OpCounter
+from .boruvka_gpu import MSTResult
+
+__all__ = ["prim"]
+
+
+def prim(num_nodes: int, src: np.ndarray, dst: np.ndarray,
+         weight: np.ndarray, *, counter: OpCounter | None = None) -> MSTResult:
+    ctr = counter or OpCounter()
+    m = src.size
+    # adjacency as CSR over the doubled edge list
+    es = np.concatenate([src, dst])
+    ed = np.concatenate([dst, src])
+    eu = np.concatenate([np.arange(m), np.arange(m)])
+    ew = np.concatenate([weight, weight])
+    order = np.argsort(es, kind="stable")
+    ed, eu, ew = ed[order], eu[order], ew[order]
+    starts = np.searchsorted(es[order], np.arange(num_nodes + 1))
+
+    in_tree = np.zeros(num_nodes, dtype=bool)
+    chosen: list[int] = []
+    heap_ops = 0
+    components = 0
+    for seed in range(num_nodes):
+        if in_tree[seed]:
+            continue
+        components += 1
+        in_tree[seed] = True
+        heap: list[tuple[int, int, int]] = []
+        for j in range(starts[seed], starts[seed + 1]):
+            heapq.heappush(heap, (int(ew[j]), int(eu[j]), int(ed[j])))
+            heap_ops += 1
+        while heap:
+            w, e, v = heapq.heappop(heap)
+            heap_ops += 1
+            if in_tree[v]:
+                continue
+            in_tree[v] = True
+            chosen.append(e)
+            for j in range(starts[v], starts[v + 1]):
+                if not in_tree[ed[j]]:
+                    heapq.heappush(heap, (int(ew[j]), int(eu[j]),
+                                          int(ed[j])))
+                    heap_ops += 1
+    mst = np.asarray(sorted(set(chosen)), dtype=np.int64)
+    ctr.launch("prim", items=num_nodes, word_reads=4 * heap_ops,
+               word_writes=heap_ops,
+               work_per_thread=np.asarray([heap_ops]))
+    return MSTResult(mst_edges=mst, total_weight=int(weight[mst].sum()),
+                     counter=ctr, rounds=1, num_components=components)

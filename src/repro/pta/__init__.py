@@ -1,0 +1,18 @@
+"""Andersen-style points-to analysis (paper Sections 4, 6.4, 8.3)."""
+
+from .constraints import (Constraints, Kind, SPEC2000, generate_constraints,
+                          generate_spec_like)
+from .bitset import BitMatrix
+from .graph import PullGraph, PushGraph
+from .andersen import PTAResult, andersen_pull
+from .push import andersen_push
+from .sequential import SerialPTAResult, andersen_serial
+from .cycles import collapse_cycles, copy_sccs, expand_solution
+
+__all__ = [
+    "Constraints", "Kind", "SPEC2000", "generate_constraints",
+    "generate_spec_like", "BitMatrix", "PullGraph", "PushGraph",
+    "PTAResult", "andersen_pull", "andersen_push",
+    "SerialPTAResult", "andersen_serial",
+    "collapse_cycles", "copy_sccs", "expand_solution",
+]

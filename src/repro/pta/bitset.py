@@ -1,0 +1,72 @@
+"""Bit-matrix points-to sets.
+
+Points-to sets are dense bit vectors over the variable universe — the
+representation GPU points-to analyses use ([18]) — stored as one
+``(num_vars, words)`` uint64 matrix so whole-set operations (union,
+difference, population count) are single vectorized passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitMatrix"]
+
+
+class BitMatrix:
+    """``num_sets`` bit sets over a ``universe``-sized domain."""
+
+    def __init__(self, num_sets: int, universe: int) -> None:
+        self.universe = universe
+        self.words = max(1, -(-universe // 64))
+        self.bits = np.zeros((num_sets, self.words), dtype=np.uint64)
+
+    # ------------------------------------------------------------------ #
+    def add(self, set_ids, members) -> None:
+        """Insert ``members[i]`` into set ``set_ids[i]`` (vectorized)."""
+        set_ids = np.asarray(set_ids, dtype=np.int64)
+        members = np.asarray(members, dtype=np.int64)
+        w = members >> 6
+        b = np.uint64(1) << (members & 63).astype(np.uint64)
+        np.bitwise_or.at(self.bits, (set_ids, w), b)
+
+    def contains(self, set_id: int, member: int) -> bool:
+        w, b = member >> 6, np.uint64(1) << np.uint64(member & 63)
+        return bool(self.bits[set_id, w] & b)
+
+    def members(self, set_id: int) -> np.ndarray:
+        """Sorted member ids of one set."""
+        row = self.bits[set_id]
+        out = []
+        for w in np.flatnonzero(row):
+            word = int(row[w])
+            base = int(w) << 6
+            while word:
+                low = word & -word
+                out.append(base + low.bit_length() - 1)
+                word ^= low
+        return np.asarray(out, dtype=np.int64)
+
+    def union_into(self, dst: int, srcs: np.ndarray) -> bool:
+        """``bits[dst] |= OR of bits[srcs]``; True if dst changed."""
+        if len(srcs) == 0:
+            return False
+        acc = np.bitwise_or.reduce(self.bits[srcs], axis=0)
+        new = self.bits[dst] | acc
+        changed = bool(np.any(new != self.bits[dst]))
+        self.bits[dst] = new
+        return changed
+
+    def counts(self) -> np.ndarray:
+        """Population count per set."""
+        return np.bitwise_count(self.bits).sum(axis=1).astype(np.int64)
+
+    def copy(self) -> "BitMatrix":
+        out = BitMatrix.__new__(BitMatrix)
+        out.universe = self.universe
+        out.words = self.words
+        out.bits = self.bits.copy()
+        return out
+
+    def equal(self, other: "BitMatrix") -> bool:
+        return bool(np.array_equal(self.bits, other.bits))

@@ -1,0 +1,117 @@
+"""Offline cycle elimination for points-to analysis.
+
+The paper notes its CPU baselines "perform optimizations like online
+cycle elimination and topological sort that are not included in our GPU
+code" (Section 8.3).  This module provides the *offline* form as an
+optional preprocessing pass: strongly connected components of the
+copy-edge graph provably share one points-to set, so collapsing each
+SCC to a representative shrinks the constraint graph before the
+fixed-point iteration.
+
+Tarjan's algorithm (iterative — Python recursion limits) finds the
+SCCs; :func:`collapse_cycles` rewrites a :class:`Constraints` instance
+onto representatives and returns the mapping so callers can expand the
+solution back to all original variables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constraints import Constraints, Kind
+
+__all__ = ["copy_sccs", "collapse_cycles", "expand_solution"]
+
+
+def copy_sccs(cons: Constraints) -> np.ndarray:
+    """SCC id per variable over the static copy-edge graph.
+
+    Edges: ``q -> p`` for every COPY constraint ``p = q``.  Returns an
+    array mapping each variable to its SCC representative (the smallest
+    member id, for determinism).
+    """
+    n = cons.num_vars
+    p, q = cons.of_kind(Kind.COPY)
+    order = np.argsort(q, kind="stable")
+    succ_dst = p[order]
+    starts = np.searchsorted(q[order], np.arange(n + 1))
+
+    index = np.full(n, -1, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    stack: list[int] = []
+    scc = np.arange(n, dtype=np.int64)
+    counter = [0]
+
+    for root in range(n):
+        if index[root] >= 0:
+            continue
+        # iterative Tarjan: (node, next-child-pointer) frames
+        frames = [(root, int(starts[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while frames:
+            v, ptr = frames[-1]
+            if ptr < starts[v + 1]:
+                frames[-1] = (v, ptr + 1)
+                w = int(succ_dst[ptr])
+                if index[w] < 0:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack[w] = True
+                    frames.append((w, int(starts[w])))
+                elif on_stack[w]:
+                    low[v] = min(low[v], index[w])
+            else:
+                frames.pop()
+                if frames:
+                    u = frames[-1][0]
+                    low[u] = min(low[u], low[v])
+                if low[v] == index[v]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        comp.append(w)
+                        if w == v:
+                            break
+                    rep = min(comp)
+                    for w in comp:
+                        scc[w] = rep
+    return scc
+
+
+def collapse_cycles(cons: Constraints) -> tuple[Constraints, np.ndarray, int]:
+    """Rewrite constraints onto SCC representatives.
+
+    Returns ``(collapsed, rep, num_collapsed)`` where ``rep[v]`` is v's
+    representative and ``num_collapsed`` counts variables merged away.
+    Only pointer *roles* are rewritten; address-of targets (the objects)
+    keep their identity so the points-to universe is unchanged.
+    Self-copies created by the collapse are dropped.
+    """
+    rep = copy_sccs(cons)
+    lhs = rep[cons.lhs]
+    rhs = cons.rhs.copy()
+    not_addr = cons.kind != int(Kind.ADDRESS_OF)
+    rhs[not_addr] = rep[rhs[not_addr]]
+    keep = ~((cons.kind == int(Kind.COPY)) & (lhs == rhs))
+    collapsed = Constraints(num_vars=cons.num_vars, kind=cons.kind[keep],
+                            lhs=lhs[keep], rhs=rhs[keep])
+    num_collapsed = int((rep != np.arange(cons.num_vars)).sum())
+    return collapsed, rep, num_collapsed
+
+
+def expand_solution(points_to_of, rep: np.ndarray):
+    """Per-variable points-to lookup that respects the collapse map.
+
+    ``points_to_of`` is a callable (e.g. ``result.points_to``) defined on
+    representatives; returns one defined on every original variable.
+    """
+    def lookup(v: int):
+        return points_to_of(int(rep[v]))
+
+    return lookup

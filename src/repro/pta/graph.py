@@ -1,0 +1,100 @@
+"""The dynamically growing constraint graph (paper Sections 4 and 6.4).
+
+Nodes are program variables (fixed count); directed edges carry
+points-to flow and are added *monotonically and unpredictably* as load
+and store constraints fire — the PTA morph behavior.
+
+The GPU representation is pull-based: "each node keeps a list of its
+incoming neighbors ... we cannot rely on a single static list ... but
+need to maintain a separate list for each node to allow for dynamic
+growth" (Section 6.4), allocated in-kernel as sorted chunks
+(Section 7.1, Kernel-Only).  :class:`PullGraph` wraps a
+:class:`~repro.vgpu.memory.ChunkAllocator` accordingly.
+
+:class:`PushGraph` is the push-based alternative (per-node *outgoing*
+lists) used by the push-vs-pull ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..vgpu.memory import ChunkAllocator, ChunkList
+
+__all__ = ["PullGraph", "PushGraph"]
+
+
+class _EdgeLists:
+    def __init__(self, num_nodes: int, chunk_size: int) -> None:
+        self.num_nodes = num_nodes
+        self.alloc = ChunkAllocator(chunk_size)
+        self.lists: list[ChunkList] = [self.alloc.new_list()
+                                       for _ in range(num_nodes)]
+        self.num_edges = 0
+
+    def add(self, node: int, others: np.ndarray) -> int:
+        added = self.alloc.insert_many(self.lists[node], others)
+        self.num_edges += added
+        return added
+
+    def of(self, node: int) -> np.ndarray:
+        return self.lists[node].to_array()
+
+    def degree(self, node: int) -> int:
+        return len(self.lists[node])
+
+    def degrees(self) -> np.ndarray:
+        return np.asarray([len(l) for l in self.lists], dtype=np.int64)
+
+
+class PullGraph(_EdgeLists):
+    """Incoming-edge lists: ``add_edges(src, dst)`` files src under dst.
+
+    Pull-based propagation then needs *no synchronization*: each node is
+    updated by exactly one thread, which reads (possibly stale)
+    neighbor sets — safe by monotonicity (Section 6.4).
+    """
+
+    def __init__(self, num_nodes: int, chunk_size: int = 1024) -> None:
+        super().__init__(num_nodes, chunk_size)
+
+    def add_edges(self, src: np.ndarray, dst: np.ndarray) -> int:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        added = 0
+        order = np.argsort(dst, kind="stable")
+        src, dst = src[order], dst[order]
+        starts = np.flatnonzero(np.concatenate(
+            ([True], dst[1:] != dst[:-1]))) if dst.size else []
+        bounds = list(starts) + [dst.size]
+        for i in range(len(bounds) - 1):
+            d = int(dst[bounds[i]])
+            added += self.add(d, src[bounds[i]: bounds[i + 1]])
+        return added
+
+    def incoming(self, node: int) -> np.ndarray:
+        return self.of(node)
+
+
+class PushGraph(_EdgeLists):
+    """Outgoing-edge lists for the push-based variant."""
+
+    def __init__(self, num_nodes: int, chunk_size: int = 1024) -> None:
+        super().__init__(num_nodes, chunk_size)
+
+    def add_edges(self, src: np.ndarray, dst: np.ndarray) -> int:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        added = 0
+        order = np.argsort(src, kind="stable")
+        src, dst = src[order], dst[order]
+        starts = np.flatnonzero(np.concatenate(
+            ([True], src[1:] != src[:-1]))) if src.size else []
+        bounds = list(starts) + [src.size]
+        for i in range(len(bounds) - 1):
+            s = int(src[bounds[i]])
+            added += self.add(s, dst[bounds[i]: bounds[i + 1]])
+        return added
+
+    def outgoing(self, node: int) -> np.ndarray:
+        return self.of(node)

@@ -1,0 +1,13 @@
+"""Survey Propagation SAT solving (paper Sections 3, 6.3, 8.2)."""
+
+from .formula import CNF, HARD_RATIOS, random_ksat, read_dimacs, write_dimacs
+from .factorgraph import FactorGraph
+from .sp import SPConfig, SPResult, run_sp, solve_sp, survey_iteration
+from .walksat import walksat
+from .dpll import DPLLBudgetExceeded, dpll
+
+__all__ = [
+    "CNF", "HARD_RATIOS", "random_ksat", "read_dimacs", "write_dimacs",
+    "FactorGraph", "SPConfig", "SPResult", "run_sp", "solve_sp",
+    "survey_iteration", "walksat", "dpll", "DPLLBudgetExceeded",
+]

@@ -1,0 +1,143 @@
+"""A complete DPLL SAT solver: the verification oracle for SP/WalkSAT.
+
+Survey propagation is incomplete (it can answer UNKNOWN and can fix
+variables inconsistently); WalkSAT is incomplete too.  For small
+instances this solver gives ground truth: unit propagation, pure-literal
+elimination, and branching on the most-occurring variable, with
+conflict-driven backtracking (chronological — this is an oracle, not a
+competition solver).
+
+Intended for formulas up to a few hundred variables; the test suite uses
+it to check that (a) WalkSAT never reports SAT on unsatisfiable
+formulas, (b) SP decimation prefixes remain extendable on satisfiable
+ones, and (c) the random generator's satisfiability rate behaves as the
+phase-transition literature predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .formula import CNF
+
+__all__ = ["dpll", "DPLLBudgetExceeded"]
+
+
+class DPLLBudgetExceeded(RuntimeError):
+    """Raised when the search exceeds its decision budget."""
+
+
+def dpll(cnf: CNF, max_decisions: int = 1_000_000) -> np.ndarray | None:
+    """Return a satisfying assignment, or None if unsatisfiable.
+
+    Raises :class:`DPLLBudgetExceeded` if the search would exceed
+    ``max_decisions`` branching decisions.
+    """
+    n = cnf.num_vars
+    # clauses as lists of signed literals: +v+1 / -(v+1)
+    clauses = []
+    for row_v, row_s in zip(cnf.vars, cnf.signs):
+        lits = []
+        for v, s in zip(row_v.tolist(), row_s.tolist()):
+            lit = (v + 1) * (1 if s > 0 else -1)
+            if -lit in lits:
+                lits = None  # tautological clause
+                break
+            if lit not in lits:
+                lits.append(lit)
+        if lits is not None:
+            clauses.append(lits)
+
+    assign: dict[int, bool] = {}
+    budget = [max_decisions]
+
+    def value(lit: int) -> bool | None:
+        v = abs(lit) - 1
+        if v not in assign:
+            return None
+        val = assign[v]
+        return val if lit > 0 else not val
+
+    def simplify() -> tuple[list, bool]:
+        """Current clause state: (unresolved clauses, conflict?)."""
+        out = []
+        for c in clauses:
+            sat = False
+            free = []
+            for lit in c:
+                val = value(lit)
+                if val is True:
+                    sat = True
+                    break
+                if val is None:
+                    free.append(lit)
+            if sat:
+                continue
+            if not free:
+                return [], True
+            out.append(free)
+        return out, False
+
+    def propagate() -> bool:
+        """Unit propagation + pure literals; False on conflict."""
+        while True:
+            remaining, conflict = simplify()
+            if conflict:
+                return False
+            units = [c[0] for c in remaining if len(c) == 1]
+            if units:
+                for lit in units:
+                    val = value(lit)
+                    if val is False:
+                        return False
+                    assign[abs(lit) - 1] = lit > 0
+                continue
+            # pure literals
+            polarity: dict[int, int] = {}
+            for c in remaining:
+                for lit in c:
+                    polarity[abs(lit)] = polarity.get(abs(lit), 0) | \
+                        (1 if lit > 0 else 2)
+            pures = [v for v, p in polarity.items() if p != 3]
+            if pures:
+                for v in pures:
+                    assign[v - 1] = polarity[v] == 1
+                continue
+            return True
+
+    def search() -> bool:
+        if not propagate():
+            return False
+        remaining, conflict = simplify()
+        if conflict:
+            return False
+        if not remaining:
+            return True
+        if budget[0] <= 0:
+            raise DPLLBudgetExceeded("dpll decision budget exhausted")
+        budget[0] -= 1
+        # branch on the most frequent variable in the residual
+        counts: dict[int, int] = {}
+        for c in remaining:
+            for lit in c:
+                counts[abs(lit) - 1] = counts.get(abs(lit) - 1, 0) + 1
+        v = max(counts, key=counts.get)
+        snapshot = dict(assign)
+        for val in (True, False):
+            assign.clear()
+            assign.update(snapshot)
+            assign[v] = val
+            if search():
+                return True
+        assign.clear()
+        assign.update(snapshot)
+        return False
+
+    if search():
+        out = np.zeros(n, dtype=bool)
+        for v, val in assign.items():
+            out[v] = val
+        # unassigned variables are don't-cares; any value works
+        assert cnf.check(out)
+        return out
+    return None

@@ -1,0 +1,135 @@
+"""k-SAT formulas: representation, random generation, DIMACS I/O.
+
+The paper's SP inputs are random K-SAT instances at the *hard* clause-
+to-literal ratios from Mertens et al. [21] (Fig. 9): 4.2 for K = 3,
+9.9 for K = 4, 21.1 for K = 5 and 43.4 for K = 6.  :func:`random_ksat`
+draws clauses with ``K`` distinct variables and independent random
+negations — the standard ensemble.
+
+A formula with exactly K literals per clause is stored densely as an
+``(m, K)`` variable-index matrix plus an ``(m, K)`` sign matrix
+(+1 positive literal, -1 negated), matching the paper's direct-offset
+clause-to-literal mapping (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["CNF", "random_ksat", "HARD_RATIOS", "write_dimacs", "read_dimacs"]
+
+#: Hard clause-to-literal ratios per K (Mertens, Mezard & Zecchina 2006),
+#: as used in the paper's Fig. 9.
+HARD_RATIOS = {3: 4.2, 4: 9.9, 5: 21.1, 6: 43.4}
+
+
+@dataclass
+class CNF:
+    """A K-uniform CNF formula."""
+
+    num_vars: int
+    vars: np.ndarray   # (m, K) int64 variable indices
+    signs: np.ndarray  # (m, K) int8, +1 positive / -1 negated
+
+    def __post_init__(self) -> None:
+        self.vars = np.ascontiguousarray(self.vars, dtype=np.int64)
+        self.signs = np.ascontiguousarray(self.signs, dtype=np.int8)
+        if self.vars.shape != self.signs.shape or self.vars.ndim != 2:
+            raise ValueError("vars/signs must be matching (m, K) matrices")
+        if self.vars.size and (self.vars.min() < 0
+                               or self.vars.max() >= self.num_vars):
+            raise ValueError("variable index out of range")
+        if self.vars.size and not np.all(np.abs(self.signs) == 1):
+            raise ValueError("signs must be +-1")
+
+    @property
+    def num_clauses(self) -> int:
+        return self.vars.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.vars.shape[1]
+
+    @property
+    def ratio(self) -> float:
+        return self.num_clauses / self.num_vars if self.num_vars else 0.0
+
+    def check(self, assignment: np.ndarray) -> bool:
+        """True iff the boolean ``assignment`` satisfies every clause."""
+        vals = assignment[self.vars]                    # (m, K) bool
+        lit = np.where(self.signs > 0, vals, ~vals)
+        return bool(np.all(lit.any(axis=1)))
+
+    def clause_satisfied(self, assignment: np.ndarray) -> np.ndarray:
+        vals = assignment[self.vars]
+        return np.where(self.signs > 0, vals, ~vals).any(axis=1)
+
+
+def random_ksat(num_vars: int, k: int = 3, ratio: float | None = None,
+                num_clauses: int | None = None, seed: int = 0) -> CNF:
+    """Random K-SAT with distinct variables per clause.
+
+    Exactly one of ``ratio`` (clauses = ratio * vars, default the hard
+    ratio for ``k``) or ``num_clauses`` may be given.
+    """
+    if num_vars < k:
+        raise ValueError("need at least k variables")
+    if num_clauses is None:
+        if ratio is None:
+            ratio = HARD_RATIOS.get(k)
+            if ratio is None:
+                raise ValueError(f"no hard ratio known for K={k}")
+        num_clauses = int(round(ratio * num_vars))
+    rng = np.random.default_rng(seed)
+    # Draw K distinct variables per clause by ranking random keys.
+    keys = rng.random((num_clauses, num_vars)) if num_vars <= 64 else None
+    if keys is not None:
+        vars_ = np.argsort(keys, axis=1)[:, :k].astype(np.int64)
+    else:
+        # Memory-friendly path: rejection sampling, vectorized retries.
+        vars_ = rng.integers(0, num_vars, size=(num_clauses, k), dtype=np.int64)
+        while True:
+            srt = np.sort(vars_, axis=1)
+            dup = (srt[:, 1:] == srt[:, :-1]).any(axis=1)
+            n_dup = int(dup.sum())
+            if n_dup == 0:
+                break
+            vars_[dup] = rng.integers(0, num_vars, size=(n_dup, k))
+    signs = rng.choice(np.array([-1, 1], dtype=np.int8), size=(num_clauses, k))
+    return CNF(num_vars=num_vars, vars=vars_, signs=signs)
+
+
+def write_dimacs(path, cnf: CNF) -> None:
+    with open(path, "w") as f:
+        f.write(f"p cnf {cnf.num_vars} {cnf.num_clauses}\n")
+        for row_v, row_s in zip(cnf.vars, cnf.signs):
+            lits = " ".join(str(int(s) * (int(v) + 1))
+                            for v, s in zip(row_v, row_s))
+            f.write(lits + " 0\n")
+
+
+def read_dimacs(path) -> CNF:
+    num_vars = 0
+    clauses: list[list[int]] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith(("c", "%")):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            num_vars = int(parts[2])
+            continue
+        lits = [int(t) for t in line.split() if t != "0"]
+        if lits:
+            clauses.append(lits)
+    if not clauses:
+        raise ValueError("no clauses found")
+    k = len(clauses[0])
+    if any(len(c) != k for c in clauses):
+        raise ValueError("only K-uniform formulas supported")
+    arr = np.asarray(clauses, dtype=np.int64)
+    return CNF(num_vars=num_vars, vars=np.abs(arr) - 1,
+               signs=np.sign(arr).astype(np.int8))

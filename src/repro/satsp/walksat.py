@@ -1,0 +1,97 @@
+"""WalkSAT: the "simpler solver" SP hands the residual formula to.
+
+Standard SKC WalkSAT: pick an unsatisfied clause at random; if some
+variable in it breaks nothing, flip it (freebie); otherwise with
+probability ``noise`` flip a random variable of the clause, else flip
+the one with the fewest breaks.  ``break(v)`` is the number of clauses
+that flipping ``v`` would newly unsatisfy — exactly the clauses where
+``v``'s literal is currently the *only* true one.
+
+The implementation keeps per-clause true-literal counts and per-flip
+O(degree) updates, the classic incremental bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.counters import OpCounter
+from .formula import CNF
+
+__all__ = ["walksat"]
+
+
+def walksat(cnf: CNF, max_flips: int = 1_000_000, noise: float = 0.5,
+            seed: int = 0, restarts: int = 5,
+            counter: OpCounter | None = None) -> np.ndarray | None:
+    """Return a satisfying boolean assignment, or None on failure."""
+    if cnf.num_clauses == 0:
+        return np.zeros(cnf.num_vars, dtype=bool)
+    rng = np.random.default_rng(seed)
+    m, k = cnf.num_clauses, cnf.k
+    n = cnf.num_vars
+    # Variable -> (clause, sign) occurrence CSR.
+    flat_v = cnf.vars.ravel()
+    flat_s = cnf.signs.ravel()
+    order = np.argsort(flat_v, kind="stable")
+    occ_clause = (np.arange(flat_v.size) // k)[order]
+    occ_sign = flat_s[order]
+    starts = np.searchsorted(flat_v[order], np.arange(n + 1))
+    flips_done = 0
+
+    def lit_true(v: int, s: int, assign: np.ndarray) -> bool:
+        return bool(assign[v]) == (s > 0)
+
+    for _ in range(restarts):
+        assign = rng.random(n) < 0.5
+        truth = np.where(cnf.signs > 0, assign[cnf.vars], ~assign[cnf.vars])
+        num_true = truth.sum(axis=1).astype(np.int64)
+        unsat_list = np.flatnonzero(num_true == 0).tolist()
+        unsat_pos = {c: i for i, c in enumerate(unsat_list)}
+
+        def breaks(v: int) -> int:
+            b = 0
+            for j in range(starts[v], starts[v + 1]):
+                c = int(occ_clause[j])
+                if num_true[c] == 1 and lit_true(v, int(occ_sign[j]), assign):
+                    b += 1
+            return b
+
+        def flip(v: int) -> None:
+            assign[v] = not assign[v]
+            for j in range(starts[v], starts[v + 1]):
+                c = int(occ_clause[j])
+                if lit_true(v, int(occ_sign[j]), assign):
+                    num_true[c] += 1
+                    if num_true[c] == 1:  # clause became satisfied
+                        i = unsat_pos.pop(c)
+                        last = unsat_list.pop()
+                        if last != c:
+                            unsat_list[i] = last
+                            unsat_pos[last] = i
+                else:
+                    num_true[c] -= 1
+                    if num_true[c] == 0:  # clause became unsatisfied
+                        unsat_pos[c] = len(unsat_list)
+                        unsat_list.append(c)
+
+        for _ in range(max_flips):
+            if not unsat_list:
+                if counter is not None:
+                    counter.launch("walksat", items=flips_done)
+                return assign
+            flips_done += 1
+            c = unsat_list[int(rng.integers(len(unsat_list)))]
+            cvars = [int(x) for x in cnf.vars[c]]
+            bs = [breaks(v) for v in cvars]
+            zero = [v for v, b in zip(cvars, bs) if b == 0]
+            if zero:
+                v = zero[0]                       # freebie
+            elif rng.random() < noise:
+                v = cvars[int(rng.integers(k))]   # noise step
+            else:
+                v = cvars[int(np.argmin(bs))]     # greedy step
+            flip(v)
+    if counter is not None:
+        counter.launch("walksat", items=flips_done)
+    return None

@@ -1,0 +1,150 @@
+"""Virtual device descriptions: the simulated GPU and the reference CPUs.
+
+The paper evaluates on an NVIDIA Tesla C2070 (Fermi: 14 SMs x 32 cores =
+448 CUDA cores at 1.15 GHz, 48 KB shared memory per SM) against a 48-core
+Intel Xeon E7540 at 2 GHz.  :class:`GpuSpec` and :class:`CpuSpec` encode
+exactly those machines; the cost model (:mod:`repro.vgpu.costmodel`) turns
+operation counts into modeled seconds on them.
+
+These are *descriptions*, not executors — kernels run as vectorized NumPy
+code via :mod:`repro.vgpu.kernel`; the specs only control occupancy
+geometry (how many threads are resident, warp size) and the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSpec", "CpuSpec", "TESLA_C2070", "XEON_E7540", "LaunchConfig"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Geometry and speeds of a simulated GPU."""
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    clock_hz: float
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_blocks_per_sm: int = 8
+    shared_mem_per_sm: int = 48 * 1024
+    #: global-memory words served per clock across the device (bandwidth model)
+    words_per_clock: float = 32.0
+    #: cycles for a kernel launch (driver + dispatch), order 10 us
+    kernel_launch_cycles: int = 12_000
+    #: cycles for one global-memory word access missing in cache
+    global_mem_cycles: int = 400
+    #: cycles for an L2-resident access
+    l2_mem_cycles: int = 60
+    #: extra cycles for an atomic RMW over a plain access
+    atomic_cycles: int = 300
+    #: cycles to cross a hierarchical global barrier
+    barrier_cycles: int = 3_000
+    #: cycles to cross a naive spin-on-atomic global barrier
+    naive_barrier_cycles: int = 40_000
+    #: host<->device copy bandwidth in words/second (PCIe 2.0 x16,
+    #: ~6 GB/s sustained = 0.75 G words/s)
+    pcie_words_per_s: float = 0.75e9
+    #: fixed latency per cudaMemcpy call (seconds)
+    pcie_latency_s: float = 10e-6
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    def resident_threads(self, threads_per_block: int, blocks: int) -> int:
+        """How many threads are simultaneously resident on the device."""
+        blocks_resident = min(blocks, self.num_sms * self.max_blocks_per_sm)
+        return blocks_resident * threads_per_block
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Geometry and speeds of the reference multicore host."""
+
+    name: str
+    cores: int
+    clock_hz: float
+    #: cycles for one cache-missing word access (NUMA average on the
+    #: paper's 8-socket E7540 host)
+    mem_cycles: int = 200
+    #: cycles for a cache-hitting word access
+    cached_mem_cycles: int = 4
+    #: fraction of word accesses that miss cache; irregular graph codes
+    #: chase pointers, so roughly every other access leaves the cache
+    miss_fraction: float = 0.5
+    #: extra cycles for an atomic RMW
+    atomic_cycles: int = 40
+    #: cycles for a full barrier across all participating threads
+    barrier_cycles: int = 8_000
+    #: per-item scheduling overhead of the runtime (Galois-style worklists)
+    sched_cycles: int = 150
+    #: one-time parallel-runtime startup (thread-pool spawn, NUMA-aware
+    #: worklist setup).  The paper's Fig. 10 Galois-48 columns floor at
+    #: 49-94 ms even for microseconds of analysis work, which pins this
+    #: overhead empirically; 6e7 cycles = 30 ms at 2 GHz.
+    startup_cycles: float = 6e7
+
+
+#: The paper's GPU: Tesla C2070, 14 SMs, 448 cores, 1.15 GHz (Section 8).
+TESLA_C2070 = GpuSpec(
+    name="Tesla C2070",
+    num_sms=14,
+    cores_per_sm=32,
+    clock_hz=1.15e9,
+)
+
+#: The paper's host: 8x hex-core Xeon E7540 at 2 GHz, 48 cores (Section 8).
+XEON_E7540 = CpuSpec(
+    name="Xeon E7540 x8",
+    cores=48,
+    clock_hz=2.0e9,
+)
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A kernel launch configuration (grid geometry).
+
+    The paper sets the number of thread blocks once per run, proportional
+    to input size (3x to 50x the SM count), and adapts threads-per-block
+    across iterations for DMR/PTA (Section 7.4).
+    """
+
+    blocks: int
+    threads_per_block: int
+
+    def __post_init__(self) -> None:
+        if self.blocks <= 0 or self.threads_per_block <= 0:
+            raise ValueError("launch config must be positive")
+
+    @property
+    def total_threads(self) -> int:
+        return self.blocks * self.threads_per_block
+
+    def thread_ranges(self, num_items: int):
+        """Partition ``num_items`` work items into per-thread contiguous
+        chunks (the paper's local-worklist assignment, Section 7.5).
+
+        Yields ``(thread_id, start, stop)`` for threads with non-empty
+        ranges.
+        """
+        n_threads = self.total_threads
+        chunk = -(-num_items // n_threads) if num_items else 0
+        for tid in range(n_threads):
+            start = tid * chunk
+            if start >= num_items:
+                break
+            yield tid, start, min(start + chunk, num_items)
+
+    @staticmethod
+    def for_input(spec: GpuSpec, input_size: int, threads_per_block: int = 256,
+                  blocks_per_sm_small: int = 3, blocks_per_sm_large: int = 50,
+                  large_threshold: int = 1 << 20) -> "LaunchConfig":
+        """Pick a grid like the paper: 3x..50x SM count by input size."""
+        frac = min(1.0, input_size / large_threshold)
+        per_sm = blocks_per_sm_small + frac * (blocks_per_sm_large - blocks_per_sm_small)
+        return LaunchConfig(blocks=max(1, int(spec.num_sms * per_sm)),
+                            threads_per_block=threads_per_block)

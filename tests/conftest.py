@@ -1,0 +1,25 @@
+"""Shared fixtures: small cached inputs so the suite stays fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.meshing.generate import random_mesh
+
+
+@pytest.fixture(scope="session")
+def small_mesh():
+    """~500-triangle random mesh (session-cached; copy before mutating)."""
+    return random_mesh(500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_mesh():
+    """~2000-triangle random mesh (session-cached; copy before mutating)."""
+    return random_mesh(2000, seed=11)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

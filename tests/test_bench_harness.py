@@ -1,0 +1,59 @@
+"""Tests for the benchmark harness utilities (table formatting, caching,
+and the fig9 uncached-counter derivation)."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+BENCH = Path(__file__).resolve().parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH))
+
+from harness import cached_mesh, fmt_time, table  # noqa: E402
+
+
+class TestFormatting:
+    def test_fmt_time_ranges(self):
+        assert fmt_time(250.0).strip() == "250s"
+        assert fmt_time(2.5).strip() == "2.50s"
+        assert fmt_time(0.0031).strip() == "3.10ms"
+        assert fmt_time(float("nan")).strip() == "-"
+
+    def test_table_alignment(self):
+        txt = table(["a", "long-header"], [(1, 2), (333, 4)])
+        lines = txt.splitlines()
+        assert len(lines) == 4
+        assert "long-header" in lines[0]
+        assert lines[1].startswith("-")
+
+    def test_table_empty_rows(self):
+        txt = table(["x"], [])
+        assert "x" in txt
+
+
+class TestMeshCache:
+    def test_cached_mesh_roundtrip(self):
+        m1 = cached_mesh(500, seed=99)
+        m2 = cached_mesh(500, seed=99)  # from disk the second time
+        assert m1.num_triangles == m2.num_triangles
+        assert m1.n_pts == m2.n_pts
+        np.testing.assert_allclose(m1.px[: m1.n_pts], m2.px[: m2.n_pts])
+        m2.validate()
+
+
+class TestUncachedCounter:
+    def test_scales_reads_with_degree_and_k(self):
+        from bench_fig9_sp import uncached_counter
+        from repro.core.counters import OpCounter
+
+        gpu = OpCounter()
+        gpu.launch("sp.update", items=1000, word_reads=8000, barriers=1,
+                   work_per_thread=np.full(1000, 3))
+        cpu3 = uncached_counter(gpu, n_vars=100, n_edges=1260, k=3)
+        cpu6 = uncached_counter(gpu, n_vars=100, n_edges=2 * 1260, k=6)
+        assert cpu3.kernel("sp.update").word_reads > 8000
+        assert cpu6.kernel("sp.update").word_reads > \
+            cpu3.kernel("sp.update").word_reads
+        # the original counter is not mutated
+        assert gpu.kernel("sp.update").word_reads == 8000

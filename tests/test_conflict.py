@@ -1,0 +1,160 @@
+"""Tests for the 3-phase conflict engine — the heart of Section 7.3.
+
+The critical invariant: winners' claim sets are pairwise disjoint, under
+every race outcome.  The 2-phase variant violates it (the paper's bug
+walkthrough), which we demonstrate rather than fix.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conflict import (three_phase_mark, two_phase_mark,
+                                 winners_disjoint)
+from repro.core.ragged import Ragged
+
+
+def claims_of(rows):
+    return Ragged.from_lists(rows)
+
+
+class TestThreePhase:
+    def test_disjoint_claims_all_win(self, rng):
+        claims = claims_of([[0, 1], [2, 3], [4]])
+        res = three_phase_mark(5, claims, rng)
+        assert res.winners.all()
+        assert res.num_aborted == 0
+
+    def test_overlap_one_winner(self, rng):
+        claims = claims_of([[0, 1], [1, 2]])
+        res = three_phase_mark(3, claims, rng)
+        assert res.num_winners == 1
+        assert winners_disjoint(claims, res.winners)
+
+    def test_triple_overlap_at_most_one(self, rng):
+        claims = claims_of([[0], [0], [0]])
+        res = three_phase_mark(1, claims, rng)
+        assert res.num_winners == 1
+
+    def test_empty_claims_row_wins_vacuously(self, rng):
+        claims = claims_of([[], [0]])
+        res = three_phase_mark(1, claims, rng)
+        assert res.winners[0]
+        assert res.winners[1]
+
+    def test_no_claimants(self, rng):
+        claims = claims_of([])
+        res = three_phase_mark(4, claims, rng)
+        assert res.winners.size == 0
+
+    def test_priorities_respected_on_pairwise_conflict(self, rng):
+        claims = claims_of([[0, 1], [1, 2]])
+        # give thread 0 the higher priority
+        res = three_phase_mark(3, claims, rng,
+                               priorities=np.array([5, 1]))
+        assert res.winners[0] and not res.winners[1]
+
+    def test_marks_reflect_winners(self, rng):
+        claims = claims_of([[0, 1], [2]])
+        res = three_phase_mark(3, claims, rng)
+        assert res.marks[0] == 0 and res.marks[1] == 0
+        assert res.marks[2] == 1
+
+    def test_caller_scratch_marks_reused(self, rng):
+        marks = np.full(6, -1, dtype=np.int64)
+        claims = claims_of([[0, 1]])
+        res1 = three_phase_mark(6, claims, rng, marks=marks)
+        assert res1.winners[0]
+        # stale marks from round 1 must not break round 2
+        claims2 = claims_of([[1, 2], [3]])
+        res2 = three_phase_mark(6, claims2, rng, marks=marks)
+        assert res2.winners.all()
+
+    def test_ensure_progress_on_full_mutual_conflict(self):
+        # Construct a 3-cycle of overlaps that *can* abort everywhere;
+        # with ensure_progress, at least one must win, always.
+        for seed in range(40):
+            rng = np.random.default_rng(seed)
+            claims = claims_of([[0, 1], [1, 2], [2, 0]])
+            res = three_phase_mark(3, claims, rng, ensure_progress=True)
+            assert res.num_winners >= 1
+            assert winners_disjoint(claims, res.winners)
+
+    def test_barriers_counted(self, rng):
+        res = three_phase_mark(3, claims_of([[0], [1]]), rng)
+        assert res.barriers == 2
+
+    def test_counter_records(self, rng):
+        from repro.core.counters import OpCounter
+        c = OpCounter()
+        claims = claims_of([[0, 1], [1, 2]])
+        three_phase_mark(3, claims, rng, counter=c)
+        ks = c.kernel("conflict3")
+        assert ks.items == 2
+        assert ks.aborted == 1
+        assert ks.barriers >= 2
+
+
+class TestThreePhaseProperties:
+    @given(st.lists(st.lists(st.integers(0, 15), min_size=1, max_size=5),
+                    min_size=1, max_size=12),
+           st.integers(0, 1000))
+    @settings(max_examples=120)
+    def test_winners_always_disjoint(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        claims = claims_of(rows)
+        res = three_phase_mark(16, claims, rng)
+        assert winners_disjoint(claims, res.winners)
+
+    @given(st.lists(st.lists(st.integers(0, 15), min_size=1, max_size=5),
+                    min_size=1, max_size=12),
+           st.integers(0, 1000))
+    @settings(max_examples=60)
+    def test_disjoint_inputs_never_abort(self, rows, seed):
+        # make the rows disjoint by re-mapping to unique elements
+        flat = 0
+        disjoint = []
+        for r in rows:
+            disjoint.append(list(range(flat, flat + len(r))))
+            flat += len(r)
+        rng = np.random.default_rng(seed)
+        claims = claims_of(disjoint)
+        res = three_phase_mark(flat, claims, rng)
+        assert res.winners.all()
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=50)
+    def test_pairwise_overlaps_guarantee_progress(self, seed):
+        # Paper: "As long as overlaps involve only two cavities, this
+        # approach is also guaranteed to avoid live-lock."  On a chain,
+        # every element is shared by at most two threads, so the
+        # highest-priority thread must win — no ensure_progress needed.
+        rng = np.random.default_rng(seed)
+        rows = [[i, i + 1] for i in range(10)]
+        claims = claims_of(rows)
+        prios = rng.permutation(10)
+        res = three_phase_mark(11, claims, rng, priorities=prios)
+        assert res.num_winners >= 1
+        assert res.winners[int(np.argmax(prios))]
+
+
+class TestTwoPhaseBug:
+    def test_two_phase_overlap_happens(self):
+        """The Section 7.3 race: both threads own a shared triangle."""
+        claims = claims_of([[0, 1, 2], [2, 3]])
+        overlaps = 0
+        for seed in range(100):
+            rng = np.random.default_rng(seed)
+            res = two_phase_mark(4, claims, rng)
+            if not winners_disjoint(claims, res.winners):
+                overlaps += 1
+        # the race fires when the low-priority thread wins the first
+        # scatter (~half the seeds)
+        assert overlaps > 10
+
+    def test_three_phase_fixes_the_same_scenario(self):
+        claims = claims_of([[0, 1, 2], [2, 3]])
+        for seed in range(100):
+            rng = np.random.default_rng(seed)
+            res = three_phase_mark(4, claims, rng)
+            assert winners_disjoint(claims, res.winners)

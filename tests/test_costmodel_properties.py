@@ -1,0 +1,138 @@
+"""Property tests for the cost model: the monotonicity and dominance
+relations every experiment implicitly relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.counters import OpCounter
+from repro.vgpu import CostModel, FENCE, HIERARCHICAL, NAIVE_ATOMIC
+from repro.vgpu.costmodel import CPU_CYCLES_PER_STEP, GPU_CYCLES_PER_STEP
+
+
+def counter_with(items=0, reads=0, writes=0, atomics=0, barriers=0,
+                 launches=1, work=None):
+    c = OpCounter()
+    for _ in range(launches):
+        c.launch("k", items=items, word_reads=reads, word_writes=writes,
+                 atomics=atomics, barriers=barriers, work_per_thread=work)
+    return c
+
+
+class TestMonotonicity:
+    @given(st.integers(0, 10_000), st.integers(1, 10_000))
+    @settings(max_examples=40)
+    def test_more_items_never_cheaper(self, a, extra):
+        cm = CostModel()
+        small = counter_with(items=a, work=np.ones(max(1, a), dtype=np.int64))
+        big = counter_with(items=a + extra,
+                           work=np.ones(a + extra, dtype=np.int64))
+        assert cm.gpu_time(big) >= cm.gpu_time(small)
+        assert cm.serial_time(big) >= cm.serial_time(small)
+        assert cm.cpu_time(big, 48) >= cm.cpu_time(small, 48)
+
+    @given(st.integers(0, 100), st.integers(1, 100))
+    @settings(max_examples=30)
+    def test_more_barriers_cost_gpu(self, b, extra):
+        cm = CostModel()
+        assert cm.gpu_time(counter_with(barriers=b + extra)) > \
+            cm.gpu_time(counter_with(barriers=b))
+
+    @given(st.integers(2, 48), st.integers(2, 48))
+    @settings(max_examples=30)
+    def test_more_threads_never_slower_same_counts(self, t1, t2):
+        # Among parallel configurations (>= 2 threads, which all pay the
+        # one-time runtime startup) more threads must not hurt when the
+        # counts are equal and barrier-free.  1 -> 2 threads can
+        # legitimately be slower: the startup cost kicks in.
+        cm = CostModel()
+        c = counter_with(items=100_000, reads=400_000,
+                         work=np.ones(100_000, dtype=np.int64))
+        lo, hi = min(t1, t2), max(t1, t2)
+        assert cm.cpu_time(c, hi) <= cm.cpu_time(c, lo) + 1e-12
+
+    def test_atomics_cost_more_on_gpu(self):
+        cm = CostModel()
+        base = counter_with(items=1000)
+        heavy = counter_with(items=1000, atomics=100_000)
+        assert cm.gpu_time(heavy) > cm.gpu_time(base)
+
+
+class TestDominanceRelations:
+    def test_barrier_ordering_all_geometries(self):
+        cm = CostModel()
+        for blocks in (14, 112, 700):
+            for tpb in (64, 256, 1024):
+                c = counter_with(barriers=10)
+                c.scalars["cfg_blocks"] = blocks
+                c.scalars["cfg_tpb"] = tpb
+                t = {}
+                for bar in (FENCE, HIERARCHICAL, NAIVE_ATOMIC):
+                    c.scalars["barrier_kind"] = bar.index
+                    t[bar.kind] = cm.gpu_time(c)
+                vals = list(t.values())
+                assert vals == sorted(vals), (blocks, tpb)
+
+    def test_serial_scales_linearly_in_steps(self):
+        cm = CostModel()
+        t1 = cm.serial_time(counter_with(
+            work=np.asarray([1_000_000])))
+        t2 = cm.serial_time(counter_with(
+            work=np.asarray([2_000_000])))
+        assert t2 == pytest.approx(2 * t1, rel=1e-6)
+
+    def test_gpu_throughput_vs_critical_crossover(self):
+        """Spread work uses throughput; one serial thread of the same
+        total work must cost ~total_cores times more."""
+        cm = CostModel()
+        total = 448 * 1000
+        spread = counter_with(work=np.full(448 * 8, total // (448 * 8)))
+        serial = counter_with(work=np.asarray([total]))
+        ratio = cm.gpu_time(serial) / cm.gpu_time(spread)
+        assert ratio > 100  # near 448 minus launch-overhead dilution
+
+    def test_memory_bound_kernel_prices_by_words(self):
+        cm = CostModel()
+        few = counter_with(reads=1_000_000)
+        many = counter_with(reads=10_000_000)
+        assert cm.gpu_time(many) > 5 * cm.gpu_time(few)
+
+    def test_transfer_scalars_priced(self):
+        cm = CostModel()
+        base = counter_with(items=10)
+        xfer = counter_with(items=10)
+        xfer.scalars["h2d_words"] = 10_000_000
+        xfer.scalars["xfer_calls"] = 3
+        assert cm.gpu_time(xfer) > cm.gpu_time(base) + 0.01
+
+    def test_realloc_scalars_priced(self):
+        cm = CostModel()
+        base = counter_with(items=10)
+        re = counter_with(items=10)
+        re.scalars["realloc_words"] = 32_000_000
+        re.scalars["reallocs"] = 5
+        assert cm.gpu_time(re) > cm.gpu_time(base)
+
+    def test_kernel_malloc_scalars_priced(self):
+        cm = CostModel()
+        base = counter_with(items=10)
+        km = counter_with(items=10)
+        km.scalars["kernel_mallocs"] = 10_000
+        assert cm.gpu_time(km) > cm.gpu_time(base)
+
+
+class TestConstantsSane:
+    def test_step_cost_relation(self):
+        # a CPU core retires a step faster than an in-order GPU lane
+        assert CPU_CYCLES_PER_STEP < GPU_CYCLES_PER_STEP
+
+    def test_speedup_bounds_respected(self):
+        """448 GPU lanes at 12 cycles/step vs 1 CPU core at 5 cycles/step:
+        the compute-bound speedup ceiling is ~(448/12)*(5/2e9*1.15e9)...
+        sanity: a perfectly parallel compute-bound kernel beats serial by
+        more than 10x and less than 448x."""
+        cm = CostModel()
+        work = np.full(448 * 64, 10_000)
+        c = counter_with(work=work)
+        ratio = cm.serial_time(c) / cm.gpu_time(c)
+        assert 10 < ratio < 448

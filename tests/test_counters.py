@@ -1,0 +1,155 @@
+"""Unit tests for the operation counters and divergence estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.counters import KernelStats, OpCounter, warp_divergence
+
+
+class TestWarpDivergence:
+    def test_empty(self):
+        assert warp_divergence(np.array([], dtype=np.int64)) == (0, 0)
+
+    def test_uniform_full_warp(self):
+        w = np.full(32, 5)
+        issued, useful = warp_divergence(w)
+        assert issued == useful == 32 * 5
+
+    def test_single_heavy_lane(self):
+        w = np.zeros(32, dtype=np.int64)
+        w[3] = 10
+        issued, useful = warp_divergence(w)
+        assert useful == 10
+        assert issued == 32 * 10
+
+    def test_padding_partial_warp(self):
+        w = np.full(16, 4)
+        issued, useful = warp_divergence(w)
+        assert useful == 64
+        assert issued == 32 * 4  # padded lanes idle
+
+    def test_two_warps_independent(self):
+        w = np.concatenate([np.full(32, 2), np.full(32, 8)])
+        issued, useful = warp_divergence(w)
+        assert useful == 32 * 2 + 32 * 8
+        assert issued == 32 * 2 + 32 * 8  # each warp uniform
+
+    def test_custom_warp_size(self):
+        w = np.array([1, 5])
+        issued, useful = warp_divergence(w, warp_size=2)
+        assert useful == 6
+        assert issued == 10
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
+    def test_issued_at_least_useful(self, work):
+        issued, useful = warp_divergence(np.asarray(work))
+        assert issued >= useful
+        assert useful == sum(work)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=100))
+    def test_issued_bounded_by_max_times_lanes(self, work):
+        issued, _ = warp_divergence(np.asarray(work))
+        n_warps = -(-len(work) // 32)
+        assert issued <= n_warps * 32 * max(work) if max(work) else issued == 0
+
+
+class TestKernelStats:
+    def test_abort_ratio_empty(self):
+        assert KernelStats().abort_ratio == 0.0
+
+    def test_abort_ratio(self):
+        ks = KernelStats(items=10, aborted=4)
+        assert ks.abort_ratio == pytest.approx(0.4)
+
+    def test_divergence_default(self):
+        assert KernelStats().divergence == 1.0
+
+    def test_merge(self):
+        a = KernelStats(launches=1, items=5, atomics=2, per_launch_items=[5])
+        b = KernelStats(launches=2, items=7, atomics=1, per_launch_items=[3, 4])
+        a.merge(b)
+        assert a.launches == 3
+        assert a.items == 12
+        assert a.atomics == 3
+        assert a.per_launch_items == [5, 3, 4]
+
+
+class TestOpCounter:
+    def test_launch_accumulates(self):
+        c = OpCounter()
+        c.launch("k", items=10, aborted=2, atomics=5, barriers=1)
+        c.launch("k", items=20)
+        ks = c.kernel("k")
+        assert ks.launches == 2
+        assert ks.items == 30
+        assert ks.aborted == 2
+        assert c.total_items() == 30
+        assert c.total_launches() == 2
+
+    def test_count_launch_false(self):
+        c = OpCounter()
+        c.launch("k", items=5)
+        c.launch("k", items=5, count_launch=False)
+        assert c.kernel("k").launches == 1
+        assert c.kernel("k").items == 10
+
+    def test_default_work_converged(self):
+        c = OpCounter()
+        ks = c.launch("k", items=64)
+        assert ks.issued_lane_steps == 64
+        assert ks.useful_lane_steps == 64
+        assert ks.divergence == 1.0
+
+    def test_work_per_thread_divergence(self):
+        c = OpCounter()
+        work = np.zeros(32, dtype=np.int64)
+        work[0] = 4
+        ks = c.launch("k", items=1, work_per_thread=work)
+        assert ks.divergence == pytest.approx(32.0)
+        assert ks.critical_lane_steps == 4
+
+    def test_scalars(self):
+        c = OpCounter()
+        c.bump("reallocs")
+        c.bump("reallocs", 2)
+        assert c.scalars["reallocs"] == 3
+
+    def test_merge_counters(self):
+        a, b = OpCounter(), OpCounter()
+        a.launch("x", items=1)
+        b.launch("x", items=2)
+        b.launch("y", items=3)
+        b.bump("s", 5)
+        a.merge(b)
+        assert a.kernel("x").items == 3
+        assert a.kernel("y").items == 3
+        assert a.scalars["s"] == 5
+
+    def test_contains_and_iter(self):
+        c = OpCounter()
+        c.launch("a")
+        assert "a" in c
+        assert "b" not in c
+        assert dict(c)["a"].launches == 1
+
+    def test_reset(self):
+        c = OpCounter()
+        c.launch("a", items=1)
+        c.bump("z")
+        c.reset()
+        assert c.total_items() == 0
+        assert not c.scalars
+
+    def test_summary_contains_kernels(self):
+        c = OpCounter()
+        c.launch("my.kernel", items=10, aborted=5)
+        s = c.summary()
+        assert "my.kernel" in s
+        assert "50.0%" in s
+
+    def test_per_launch_items_profile(self):
+        c = OpCounter()
+        for n in (5, 3, 8):
+            c.launch("k", items=n)
+        assert c.kernel("k").per_launch_items == [5, 3, 8]

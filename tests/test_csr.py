@@ -1,0 +1,210 @@
+"""Unit and property tests for static and dynamic CSR graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.csr import CSRGraph, DynamicCSR, edges_to_csr
+
+
+def small_graph():
+    return edges_to_csr(4, np.array([0, 0, 1, 2, 3]),
+                        np.array([1, 2, 2, 3, 0]))
+
+
+class TestEdgesToCSR:
+    def test_basic(self):
+        g = small_graph()
+        assert g.num_nodes == 4
+        assert g.num_edges == 5
+        assert g.neighbors(0).tolist() == [1, 2]
+        assert g.neighbors(3).tolist() == [0]
+
+    def test_degrees(self):
+        g = small_graph()
+        assert g.degrees().tolist() == [2, 1, 1, 1]
+
+    def test_empty_graph(self):
+        g = edges_to_csr(3, np.array([], dtype=np.int64),
+                         np.array([], dtype=np.int64))
+        assert g.num_edges == 0
+        assert g.neighbors(1).size == 0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            edges_to_csr(2, np.array([0]), np.array([5]))
+        with pytest.raises(ValueError):
+            edges_to_csr(2, np.array([-1]), np.array([0]))
+
+    def test_dedup(self):
+        g = edges_to_csr(3, np.array([0, 0, 0]), np.array([1, 1, 2]),
+                         dedup=True)
+        assert g.num_edges == 2
+        assert g.neighbors(0).tolist() == [1, 2]
+
+    def test_weights_follow_edges(self):
+        g = edges_to_csr(3, np.array([1, 0]), np.array([2, 1]),
+                         weights=np.array([7.0, 3.0]))
+        assert g.edge_weights(0).tolist() == [3.0]
+        assert g.edge_weights(1).tolist() == [7.0]
+
+    def test_edge_sources_roundtrip(self):
+        g = small_graph()
+        src = g.edge_sources()
+        g2 = edges_to_csr(4, src, g.col_idx)
+        assert np.array_equal(g2.row_starts, g.row_starts)
+        assert np.array_equal(g2.col_idx, g.col_idx)
+
+
+class TestCSRGraph:
+    def test_inconsistent_row_starts_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([0, 1]))
+
+    def test_nonmonotonic_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 1, 2]))
+
+    def test_reverse(self):
+        g = small_graph()
+        r = g.reverse()
+        assert r.neighbors(2).tolist() == [0, 1]
+        assert r.num_edges == g.num_edges
+
+    def test_reverse_involution(self):
+        g = small_graph()
+        rr = g.reverse().reverse()
+        assert np.array_equal(rr.row_starts, g.row_starts)
+        assert np.array_equal(rr.col_idx, g.col_idx)
+
+    def test_has_edge(self):
+        g = small_graph()
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(2, 0)
+
+    def test_with_layout_identity(self):
+        g = small_graph()
+        g2 = g.with_layout(np.arange(4))
+        assert np.array_equal(g2.col_idx, g.col_idx)
+
+    def test_with_layout_permutes(self):
+        g = small_graph()
+        perm = np.array([3, 2, 1, 0])
+        g2 = g.with_layout(perm)
+        # edge 0->1 becomes 3->2
+        assert g2.has_edge(3, 2)
+        assert g2.num_edges == g.num_edges
+
+    def test_with_layout_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            small_graph().with_layout(np.array([0, 0, 1, 2]))
+
+    def test_to_networkx(self):
+        g = small_graph()
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 5
+        assert nxg.has_edge(0, 1)
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(2, 20))
+    m = draw(st.integers(0, 60))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return n, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+
+
+class TestCSRProperties:
+    @given(edge_lists())
+    @settings(max_examples=50)
+    def test_edge_count_preserved(self, data):
+        n, src, dst = data
+        g = edges_to_csr(n, src, dst)
+        assert g.num_edges == src.size
+        assert g.degrees().sum() == src.size
+
+    @given(edge_lists())
+    @settings(max_examples=50)
+    def test_neighbors_multiset_preserved(self, data):
+        n, src, dst = data
+        g = edges_to_csr(n, src, dst)
+        for v in range(n):
+            expected = sorted(dst[src == v].tolist())
+            assert sorted(g.neighbors(v).tolist()) == expected
+
+    @given(edge_lists())
+    @settings(max_examples=30)
+    def test_reverse_preserves_edge_multiset(self, data):
+        n, src, dst = data
+        g = edges_to_csr(n, src, dst)
+        r = g.reverse()
+        fwd = sorted(zip(g.edge_sources().tolist(), g.col_idx.tolist()))
+        bwd = sorted(zip(r.col_idx.tolist(), r.edge_sources().tolist()))
+        assert fwd == bwd
+
+
+class TestDynamicCSR:
+    def test_add_and_neighbors(self):
+        d = DynamicCSR(3)
+        assert d.add_edge(0, 1)
+        assert d.add_edge(0, 2)
+        assert sorted(d.neighbors(0).tolist()) == [1, 2]
+        assert d.num_edges == 2
+
+    def test_dedup(self):
+        d = DynamicCSR(3)
+        assert d.add_edge(0, 1)
+        assert not d.add_edge(0, 1)
+        assert d.num_edges == 1
+
+    def test_no_dedup_mode(self):
+        d = DynamicCSR(3)
+        d.add_edge(0, 1, dedup=False)
+        d.add_edge(0, 1, dedup=False)
+        assert d.num_edges == 2
+
+    def test_growth_across_segments(self):
+        d = DynamicCSR(2, capacity=16)
+        for v in range(100):
+            d.add_edge(0, v % 2, dedup=False)
+        assert d.neighbors(0).size == 100
+        assert d.reallocs >= 1
+
+    def test_has_edge(self):
+        d = DynamicCSR(4)
+        d.add_edge(2, 3)
+        assert d.has_edge(2, 3)
+        assert not d.has_edge(3, 2)
+
+    def test_degrees(self):
+        d = DynamicCSR(3)
+        d.add_edges([0, 0, 1], [1, 2, 2])
+        assert d.degrees().tolist() == [2, 1, 0]
+
+    def test_compact_matches(self):
+        d = DynamicCSR(5)
+        rng = np.random.default_rng(3)
+        for _ in range(60):
+            d.add_edge(int(rng.integers(5)), int(rng.integers(5)))
+        g = d.compact()
+        assert g.num_edges == d.num_edges
+        for v in range(5):
+            assert sorted(g.neighbors(v).tolist()) == \
+                sorted(d.neighbors(v).tolist())
+
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                    max_size=80))
+    @settings(max_examples=40)
+    def test_matches_set_semantics(self, pairs):
+        d = DynamicCSR(8, capacity=16)
+        ref: set = set()
+        for u, v in pairs:
+            added = d.add_edge(u, v)
+            assert added == ((u, v) not in ref)
+            ref.add((u, v))
+        assert d.num_edges == len(ref)
+        for u in range(8):
+            assert sorted(d.neighbors(u).tolist()) == \
+                sorted(v for (x, v) in ref if x == u)

@@ -1,0 +1,142 @@
+"""White-box tests for the DMR kernel internals: the vectorized device
+planner, cavity expansion, wave assignment and work accounting."""
+
+import numpy as np
+import pytest
+
+from repro.dmr.plan import plan_refinement
+from repro.dmr.refine import (DMRConfig, _plan_batch, _locality_words,
+                              _wave_work, reorder_mesh)
+from repro.meshing.generate import random_mesh
+
+
+class TestPlanBatch:
+    def test_matches_exact_planner(self, small_mesh, rng):
+        """Device-arithmetic plans must agree with the exact scalar
+        planner on cavity membership for generic (non-degenerate)
+        inputs."""
+        m = small_mesh
+        bad = m.bad_slots()[:40]
+        plans, stats = _plan_batch(m, bad, np.float64, rng)
+        mismatches = 0
+        for p in plans:
+            exact = plan_refinement(m, p.slot,
+                                    rng=np.random.default_rng(0))
+            if not (p.ok and exact.ok):
+                continue
+            if sorted(p.cavity) != sorted(exact.cavity):
+                mismatches += 1
+        # identical arithmetic (float64) on generic inputs: no drift
+        assert mismatches == 0
+
+    def test_all_plans_reference_live_triangles(self, small_mesh, rng):
+        m = small_mesh
+        plans, _ = _plan_batch(m, m.bad_slots()[:30], np.float64, rng)
+        for p in plans:
+            if p.ok:
+                assert not m.isdel[p.cavity].any()
+                assert not m.isdel[p.ring].any()
+
+    def test_walk_steps_recorded(self, small_mesh, rng):
+        m = small_mesh
+        plans, stats = _plan_batch(m, m.bad_slots()[:10], np.float64, rng)
+        assert stats["walk_steps"].sum() >= 10  # at least one step each
+
+    def test_float32_mostly_agrees(self, small_mesh, rng):
+        m = small_mesh
+        bad = m.bad_slots()[:30]
+        p64, _ = _plan_batch(m, bad, np.float64, rng)
+        p32, _ = _plan_batch(m, bad, np.float32,
+                             np.random.default_rng(1234))
+        same = sum(1 for a, b in zip(p64, p32)
+                   if a.ok and b.ok and sorted(a.cavity) == sorted(b.cavity))
+        assert same >= 0.8 * len(bad)  # reduced precision, same structure
+
+    def test_boundary_plans_marked(self, small_mesh, rng):
+        m = small_mesh
+        plans, _ = _plan_batch(m, m.bad_slots(), np.float64, rng)
+        kinds = {p.on_boundary for p in plans if p.ok}
+        # a random mesh's bad population includes hull-adjacent triangles
+        assert True in kinds or False in kinds  # smoke: flags populated
+
+    def test_empty_batch(self, small_mesh, rng):
+        plans, stats = _plan_batch(small_mesh,
+                                   np.empty(0, dtype=np.int64),
+                                   np.float64, rng)
+        assert plans == []
+
+
+class TestLocalityWords:
+    def test_near_accesses_cheap(self):
+        a = np.arange(100)
+        assert _locality_words(a, a + 1) == 100
+
+    def test_far_accesses_weighted(self):
+        a = np.zeros(10, dtype=np.int64)
+        b = np.full(10, 1_000_000)
+        assert _locality_words(a, b) == 10 * 8
+
+    def test_mixed(self):
+        a = np.array([0, 0])
+        b = np.array([1, 500_000])
+        assert _locality_words(a, b) == 1 + 8
+
+
+class TestWaveWork:
+    def test_sorted_packs_heavy_first(self):
+        class P:
+            ok = True
+            walk_steps = 2
+            cavity = [1] * 5
+            ring = [2] * 5
+
+        plans = [P() for _ in range(4)]
+        attempt = np.array([100, 900, 1700, 2500])
+        sorted_work = _wave_work(attempt, plans, threads=64, live=3000,
+                                 sort_work=True)
+        scattered = _wave_work(attempt, plans, threads=64, live=3000,
+                               sort_work=False)
+        assert sorted_work[:4].min() > 1  # heavy lanes lead
+        assert sorted_work.sum() == scattered.sum()  # same total work
+
+    def test_not_ok_plans_light(self):
+        class P:
+            ok = False
+            slot = 0
+            walk_steps = 0
+            cavity = []
+            ring = []
+
+        work = _wave_work(np.array([5]), [P()], threads=8, live=100,
+                          sort_work=True)
+        assert work[0] == 1 + 4
+
+
+class TestReorderDeterminism:
+    def test_reorder_is_deterministic(self, small_mesh):
+        a = reorder_mesh(small_mesh)
+        b = reorder_mesh(small_mesh)
+        assert np.array_equal(a.tri[: a.n_tris], b.tri[: b.n_tris])
+
+    def test_reorder_preserves_bad_count(self, small_mesh):
+        r = reorder_mesh(small_mesh)
+        assert r.bad_slots().size == small_mesh.bad_slots().size
+
+
+class TestConfigInteractions:
+    def test_max_rounds_truncates(self, medium_mesh):
+        from repro.dmr import refine_gpu
+        res = refine_gpu(medium_mesh.copy(), DMRConfig(max_rounds=2))
+        assert res.rounds == 2
+        assert res.guards_bound
+        assert not res.converged
+        res.mesh.validate()  # partial refinement is still a valid mesh
+
+    def test_min_chunk_bounds_concurrency(self, small_mesh):
+        from repro.dmr import refine_gpu
+        narrow = refine_gpu(small_mesh.copy(),
+                            DMRConfig(seed=1, min_chunk=256))
+        wide = refine_gpu(small_mesh.copy(),
+                          DMRConfig(seed=1, min_chunk=16))
+        # fewer concurrent attempts -> fewer conflicts
+        assert narrow.abort_ratio <= wide.abort_ratio + 0.05

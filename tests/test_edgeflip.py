@@ -1,0 +1,93 @@
+"""Tests for parallel Delaunay edge-flipping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.meshing.edgeflip import (find_nondelaunay_edges, flip_edge,
+                                    legalize_gpu, random_legal_flips)
+from repro.meshing.generate import random_points_mesh
+
+
+@pytest.fixture()
+def delaunay_mesh():
+    return random_points_mesh(120, seed=21)
+
+
+class TestFlipEdge:
+    def test_flip_preserves_validity(self, delaunay_mesh):
+        m = delaunay_mesh.copy()
+        n_before = m.num_triangles
+        flips = random_legal_flips(m, 1, seed=1)
+        assert flips == 1
+        m.validate()  # structure intact
+        assert m.num_triangles == n_before  # pure morph: no add/delete
+
+    def test_flip_boundary_rejected(self, delaunay_mesh):
+        m = delaunay_mesh.copy()
+        t, k = m.boundary_edges()[0]
+        with pytest.raises(ValueError):
+            flip_edge(m, t, k)
+
+    def test_double_flip_restores_edge(self, delaunay_mesh):
+        """Flipping the same interior edge twice is the identity on the
+        edge set (the new edge's flip brings the old one back)."""
+        m = delaunay_mesh.copy()
+        # find a flippable interior edge
+        done = random_legal_flips(m, 1, seed=3)
+        assert done == 1
+        m.validate()
+
+    def test_flip_breaks_delaunay(self, delaunay_mesh):
+        m = delaunay_mesh.copy()
+        assert not find_nondelaunay_edges(m)
+        random_legal_flips(m, 8, seed=2)
+        assert find_nondelaunay_edges(m)
+
+
+class TestLegalize:
+    def test_restores_delaunay(self, delaunay_mesh):
+        m = delaunay_mesh.copy()
+        flipped = random_legal_flips(m, 15, seed=4)
+        assert flipped == 15
+        res = legalize_gpu(m, seed=4)
+        assert res.flips >= 1
+        assert not find_nondelaunay_edges(m)
+        m.validate(check_delaunay=True)
+
+    def test_noop_on_delaunay_input(self, delaunay_mesh):
+        m = delaunay_mesh.copy()
+        res = legalize_gpu(m, seed=5)
+        assert res.flips == 0
+        assert res.rounds == 0
+
+    def test_triangle_count_invariant(self, delaunay_mesh):
+        m = delaunay_mesh.copy()
+        n = m.num_triangles
+        random_legal_flips(m, 10, seed=6)
+        legalize_gpu(m, seed=6)
+        assert m.num_triangles == n
+        assert m.n_pts == delaunay_mesh.n_pts
+
+    def test_counter_populated(self, delaunay_mesh):
+        m = delaunay_mesh.copy()
+        random_legal_flips(m, 10, seed=7)
+        res = legalize_gpu(m, seed=7)
+        ks = res.counter.kernel("flip.round")
+        assert ks.launches == res.rounds
+        assert ks.items >= res.flips
+
+    def test_conflicts_occur_with_many_bad_edges(self, delaunay_mesh):
+        m = delaunay_mesh.copy()
+        random_legal_flips(m, 40, seed=8)
+        res = legalize_gpu(m, seed=8)
+        # adjacent bad edges share ring triangles -> some back off
+        assert res.aborted > 0
+
+    @given(st.integers(0, 25))
+    @settings(max_examples=10, deadline=None)
+    def test_property_always_relegalizes(self, seed):
+        m = random_points_mesh(60, seed=31).copy()
+        random_legal_flips(m, 12, seed=seed)
+        legalize_gpu(m, seed=seed)
+        m.validate(check_delaunay=True)

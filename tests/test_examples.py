@@ -1,0 +1,53 @@
+"""Smoke tests: every example must run end to end at reduced size."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+sys.path.insert(0, str(EXAMPLES))
+
+
+def load(name):
+    return runpy.run_path(str(EXAMPLES / name))
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        load("quickstart.py")["main"](600)
+        out = capsys.readouterr().out
+        assert "modeled GPU time" in out
+        assert "smallest angle" in out
+
+    def test_mesh_refinement(self, capsys):
+        load("mesh_refinement.py")["main"](800)
+        out = capsys.readouterr().out
+        assert "simulated GPU" in out
+        assert "speedup" in out
+
+    def test_sat_solving(self, capsys):
+        load("sat_solving.py")["main"](300)
+        out = capsys.readouterr().out
+        assert "status:" in out
+
+    def test_delaunay_morph(self, capsys):
+        load("delaunay_morph.py")["main"](250)
+        out = capsys.readouterr().out
+        assert "verified Delaunay" in out
+
+    def test_morph_toolkit_tour(self, capsys):
+        mod = load("morph_toolkit_tour.py")
+        mod["section_7_3_conflicts"]()
+        mod["section_6_1_layout"]()
+        mod["generic_engine"]()
+        out = capsys.readouterr().out
+        assert "OVERLAPPING winners" in out
+        assert "proper coloring" in out
+
+    @pytest.mark.slow
+    def test_pointsto_compiler(self, capsys):
+        load("pointsto_compiler.py")["main"]()
+        out = capsys.readouterr().out
+        assert "may_alias" in out

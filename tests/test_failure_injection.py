@@ -1,0 +1,133 @@
+"""Failure injection: corrupt structures on purpose and assert the
+validators catch every class of violation (so the invariants the test
+suite leans on are actually enforced, not vacuous)."""
+
+import numpy as np
+import pytest
+
+from repro.meshing import TriMesh
+from repro.meshing.generate import random_points_mesh
+
+
+@pytest.fixture()
+def mesh():
+    return random_points_mesh(40, seed=77).copy()
+
+
+class TestMeshValidatorCatches:
+    def test_asymmetric_neighbor_link(self, mesh):
+        t = int(mesh.live_slots()[0])
+        for k in range(3):
+            if mesh.nbr[t, k] >= 0:
+                mesh.nbr[t, k] = int(mesh.live_slots()[-1])
+                break
+        with pytest.raises(AssertionError):
+            mesh.validate()
+
+    def test_neighbor_pointing_at_deleted(self, mesh):
+        # find an interior triangle and delete it without unlinking
+        for t in mesh.live_slots().tolist():
+            if all(mesh.nbr[t, k] >= 0 for k in range(3)):
+                mesh.isdel[t] = True
+                break
+        with pytest.raises(AssertionError):
+            mesh.validate()
+
+    def test_flipped_orientation(self, mesh):
+        t = int(mesh.live_slots()[0])
+        mesh.tri[t] = mesh.tri[t][::-1]
+        with pytest.raises(AssertionError):
+            mesh.validate()
+
+    def test_edge_shared_three_ways(self, mesh):
+        # duplicate a live triangle into a free slot
+        t = int(mesh.live_slots()[0])
+        mesh.ensure_tri_capacity(mesh.n_tris + 1)
+        s = mesh.n_tris
+        mesh.n_tris += 1
+        mesh.tri[s] = mesh.tri[t]
+        mesh.isdel[s] = False
+        with pytest.raises(AssertionError):
+            mesh.validate()
+
+    def test_shared_edge_vertex_mismatch(self, mesh):
+        # re-point a neighbor edge index at the wrong edge
+        for t in mesh.live_slots().tolist():
+            for k in range(3):
+                u = int(mesh.nbr[t, k])
+                if u >= 0:
+                    j = int(mesh.nbr_edge[t, k])
+                    mesh.nbr_edge[t, k] = (j + 1) % 3
+                    mesh.nbr[u, (j + 1) % 3] = t
+                    mesh.nbr_edge[u, (j + 1) % 3] = k
+                    with pytest.raises(AssertionError):
+                        mesh.validate()
+                    return
+
+    def test_non_delaunay_caught_by_delaunay_check(self, mesh):
+        from repro.meshing import random_legal_flips
+        flips = random_legal_flips(mesh, 3, seed=1)
+        assert flips == 3
+        mesh.validate()  # structurally still fine
+        with pytest.raises(AssertionError):
+            mesh.validate(check_delaunay=True)
+
+
+class TestConstructorRejections:
+    def test_mismatched_coordinate_arrays(self):
+        with pytest.raises(ValueError):
+            TriMesh(np.zeros(3), np.zeros(4),
+                    np.array([[0, 1, 2]], dtype=np.int64))
+
+    def test_wrong_triangle_shape(self):
+        with pytest.raises(ValueError):
+            TriMesh(np.zeros(3), np.zeros(3),
+                    np.array([[0, 1]], dtype=np.int64))
+
+    def test_degenerate_write_rejected(self, mesh):
+        v = int(mesh.tri[int(mesh.live_slots()[0]), 0])
+        mesh.ensure_tri_capacity(mesh.n_tris + 1)
+        with pytest.raises(ValueError):
+            mesh.write_triangle(mesh.n_tris, v, v, v)
+
+
+class TestConflictEngineRobustness:
+    def test_out_of_range_claims_fail_loudly(self, rng):
+        from repro.core.conflict import three_phase_mark
+        from repro.core.ragged import Ragged
+        claims = Ragged.from_lists([[99]])
+        with pytest.raises(IndexError):
+            three_phase_mark(10, claims, rng)
+
+    def test_mark_buffer_too_small_fails(self, rng):
+        from repro.core.conflict import three_phase_mark
+        from repro.core.ragged import Ragged
+        marks = np.full(2, -1, dtype=np.int64)
+        claims = Ragged.from_lists([[5]])
+        with pytest.raises(IndexError):
+            three_phase_mark(10, claims, rng, marks=marks)
+
+
+class TestGraphValidators:
+    def test_csr_rejects_bad_offsets(self):
+        from repro.core.csr import CSRGraph
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2, 3]), np.array([0, 1]))
+
+    def test_constraints_reject_shape_mismatch(self):
+        from repro.pta import Constraints
+        with pytest.raises(ValueError):
+            Constraints(num_vars=3, kind=np.array([0], dtype=np.int8),
+                        lhs=np.array([0, 1]), rhs=np.array([1]))
+
+    def test_cnf_rejects_bad_signs(self):
+        from repro.satsp import CNF
+        with pytest.raises(ValueError):
+            CNF(num_vars=3, vars=np.array([[0, 1, 2]]),
+                signs=np.array([[2, 1, 1]], dtype=np.int8))
+
+    def test_mst_weight_width_guard(self):
+        from repro.mst import boruvka_gpu
+        with pytest.raises(ValueError):
+            boruvka_gpu(2, np.array([0]), np.array([1]),
+                        np.array([1 << 40], dtype=np.int64))

@@ -1,0 +1,140 @@
+"""Tests for concurrent Delaunay insertion and mesh statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.meshing import TriMesh, build_delaunay, gpu_insert_points
+from repro.meshing.stats import angle_histogram, quality_report
+
+
+def box_mesh():
+    return TriMesh(np.array([-0.1, 1.1, 1.1, -0.1]),
+                   np.array([-0.1, -0.1, 1.1, 1.1]),
+                   np.array([[0, 1, 2], [0, 2, 3]], dtype=np.int64))
+
+
+class TestGpuInsert:
+    def test_small_batch_valid_delaunay(self, rng):
+        x, y = rng.random(60), rng.random(60)
+        res = gpu_insert_points(box_mesh(), x, y, seed=1)
+        assert res.inserted == 60
+        res.mesh.validate(check_delaunay=True)
+        assert res.mesh.num_triangles == 2 * 60 + 2  # Euler, interior pts
+
+    def test_matches_incremental_construction(self, rng):
+        x, y = rng.random(80), rng.random(80)
+        conc = gpu_insert_points(box_mesh(), x, y, seed=2)
+        incr = build_delaunay(x, y)
+        # same triangle count; both Delaunay over the same interior pts
+        assert conc.mesh.num_triangles == incr.num_triangles
+
+    def test_duplicates_skipped(self):
+        x = np.array([0.5, 0.5, 0.3])
+        y = np.array([0.5, 0.5, 0.3])
+        res = gpu_insert_points(box_mesh(), x, y, seed=3)
+        assert res.inserted == 2
+        assert res.duplicates_skipped == 1
+        res.mesh.validate(check_delaunay=True)
+
+    def test_outside_point_rejected(self):
+        with pytest.raises(ValueError):
+            gpu_insert_points(box_mesh(), np.array([5.0]), np.array([5.0]))
+
+    def test_conflicts_occur_with_dense_batches(self, rng):
+        x, y = rng.random(200), rng.random(200)
+        res = gpu_insert_points(box_mesh(), x, y, seed=4)
+        assert res.aborted_conflicts > 0  # everyone starts in 2 triangles
+        assert res.rounds > 1
+
+    def test_parallelism_widens_then_narrows(self, rng):
+        x, y = rng.random(300), rng.random(300)
+        res = gpu_insert_points(box_mesh(), x, y, seed=5)
+        par = res.parallelism
+        assert max(par) > par[0]  # the empty mesh serializes round 1
+
+    def test_counter_balances(self, rng):
+        x, y = rng.random(50), rng.random(50)
+        res = gpu_insert_points(box_mesh(), x, y, seed=6)
+        ks = res.counter.kernel("insert.round")
+        assert ks.launches == res.rounds
+        assert ks.items >= res.inserted
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_property_always_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 50))
+        x, y = rng.random(n), rng.random(n)
+        res = gpu_insert_points(box_mesh(), x, y, seed=seed)
+        res.mesh.validate(check_delaunay=True)
+        assert res.inserted + res.duplicates_skipped == n
+
+
+class TestMeshStats:
+    def test_quality_report_fields(self, small_mesh):
+        q = quality_report(small_mesh)
+        assert q.num_triangles == small_mesh.num_triangles
+        assert 0 < q.min_angle_deg <= q.mean_min_angle_deg
+        assert q.mean_min_angle_deg <= 60.0 + 1e-9  # mean of min angles
+        assert q.total_area > 0
+        assert "triangles" in q.summary()
+
+    def test_refinement_improves_quality(self, small_mesh):
+        from repro.dmr import refine_gpu
+        before = quality_report(small_mesh)
+        res = refine_gpu(small_mesh.copy())
+        after = quality_report(res.mesh)
+        assert after.min_angle_deg >= 30.0 - 1e-6
+        assert after.bad_fraction == 0.0
+        assert before.bad_fraction > 0.3
+
+    def test_total_area_preserved_by_refinement(self, small_mesh):
+        from repro.dmr import refine_sequential
+        before = quality_report(small_mesh)
+        m = small_mesh.copy()
+        refine_sequential(m)
+        after = quality_report(m)
+        assert after.total_area == pytest.approx(before.total_area, rel=1e-9)
+
+    def test_angle_histogram(self, small_mesh):
+        counts, edges = angle_histogram(small_mesh, bins=18)
+        assert counts.sum() == 3 * small_mesh.num_triangles
+        assert edges[0] == 0.0 and edges[-1] == 180.0
+
+    def test_histogram_empties_below_bound_after_refinement(self, small_mesh):
+        from repro.dmr import refine_gpu
+        res = refine_gpu(small_mesh.copy())
+        counts, edges = angle_histogram(res.mesh, bins=18)  # 10-deg bins
+        assert counts[0] == 0 and counts[1] == 0  # nothing under 20 deg
+
+    def test_empty_mesh_raises(self):
+        m = box_mesh()
+        m.delete([0, 1])
+        with pytest.raises(ValueError):
+            quality_report(m)
+
+
+class TestSvgExport:
+    def test_svg_renders_all_live_triangles(self, small_mesh, tmp_path):
+        from repro.meshing import mesh_to_svg, save_svg
+        svg = mesh_to_svg(small_mesh)
+        assert svg.count("<polygon") == small_mesh.num_triangles
+        assert svg.startswith("<svg")
+        p = save_svg(tmp_path / "m.svg", small_mesh)
+        assert p.exists()
+
+    def test_bad_triangles_shaded(self, small_mesh):
+        from repro.meshing import mesh_to_svg
+        svg = mesh_to_svg(small_mesh, fill_bad="#f4b6b6")
+        assert svg.count("#f4b6b6") == small_mesh.bad_slots().size
+
+    def test_empty_mesh_raises(self):
+        import numpy as np
+        from repro.meshing import TriMesh, mesh_to_svg
+        m = TriMesh(np.array([0.0, 1.0, 0.0]), np.array([0.0, 0.0, 1.0]),
+                    np.array([[0, 1, 2]], dtype=np.int64))
+        m.delete([0])
+        import pytest
+        with pytest.raises(ValueError):
+            mesh_to_svg(m)

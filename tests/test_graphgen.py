@@ -1,0 +1,106 @@
+"""Tests for the synthetic graph generators and DIMACS I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphgen import (grid2d, random_graph, read_dimacs_graph, rmat,
+                            road_network, undirected_edges_to_csr,
+                            write_dimacs_graph)
+
+
+def basic_invariants(n, src, dst, w):
+    assert src.size == dst.size == w.size
+    assert np.all(src != dst), "self loop"
+    assert src.min() >= 0 and dst.min() >= 0
+    assert max(src.max(), dst.max()) < n
+    key = np.minimum(src, dst) * n + np.maximum(src, dst)
+    assert np.unique(key).size == key.size, "parallel edge"
+    assert np.all(w > 0)
+
+
+class TestGenerators:
+    def test_grid_structure(self):
+        n, s, d, w = grid2d(5, seed=0)
+        assert n == 25
+        assert s.size == 2 * 5 * 4  # right + down links
+        basic_invariants(n, s, d, w)
+
+    def test_grid_degrees_at_most_4(self):
+        n, s, d, w = grid2d(8, seed=0)
+        deg = np.bincount(np.concatenate([s, d]), minlength=n)
+        assert deg.max() <= 4
+
+    def test_rmat_size(self):
+        n, s, d, w = rmat(8, 8, seed=1)
+        assert n == 256
+        assert s.size <= 8 * 256
+        basic_invariants(n, s, d, w)
+
+    def test_rmat_skewed_degrees(self):
+        n, s, d, w = rmat(10, 8, seed=1)
+        deg = np.bincount(np.concatenate([s, d]), minlength=n)
+        # power-law-ish: max degree far above the mean
+        assert deg.max() > 8 * deg.mean()
+
+    def test_random_graph(self):
+        n, s, d, w = random_graph(100, 300, seed=2)
+        assert s.size <= 300
+        basic_invariants(n, s, d, w)
+
+    def test_road_network_sparse_and_planarish(self):
+        n, s, d, w = road_network(2000, seed=3)
+        basic_invariants(n, s, d, w)
+        deg = np.bincount(np.concatenate([s, d]), minlength=n)
+        assert deg.mean() < 5.5
+        assert deg.max() <= 8
+
+    def test_road_weights_spatial(self):
+        n, s, d, w = road_network(1000, seed=4)
+        # all weights positive, bounded (short local links)
+        assert w.min() >= 1
+        assert w.max() < (1 << 31)
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_all_generators_invariants(self, seed):
+        for gen in (lambda: grid2d(7, seed=seed),
+                    lambda: rmat(6, 4, seed=seed),
+                    lambda: random_graph(50, 120, seed=seed),
+                    lambda: road_network(80, seed=seed)):
+            basic_invariants(*gen())
+
+    def test_reproducible(self):
+        a = rmat(8, 8, seed=7)
+        b = rmat(8, 8, seed=7)
+        assert np.array_equal(a[1], b[1]) and np.array_equal(a[2], b[2])
+
+
+class TestUndirectedCSR:
+    def test_doubling(self):
+        n, s, d, w = grid2d(4, seed=0)
+        g = undirected_edges_to_csr(n, s, d, w)
+        assert g.num_edges == 2 * s.size
+        # symmetry
+        for u in range(n):
+            for v in g.neighbors(u).tolist():
+                assert u in g.neighbors(v).tolist()
+
+    def test_weights_symmetric(self):
+        g = undirected_edges_to_csr(3, np.array([0]), np.array([1]),
+                                    np.array([5], dtype=np.int64))
+        assert g.edge_weights(0).tolist() == [5]
+        assert g.edge_weights(1).tolist() == [5]
+
+
+class TestDimacsIO:
+    def test_roundtrip(self, tmp_path):
+        n, s, d, w = road_network(100, seed=5)
+        path = tmp_path / "g.gr"
+        write_dimacs_graph(path, n, s, d, w)
+        n2, s2, d2, w2 = read_dimacs_graph(path)
+        assert n2 == n
+        key = lambda a, b: set(zip(np.minimum(a, b).tolist(),
+                                   np.maximum(a, b).tolist()))
+        assert key(s, d) == key(s2, d2)
+        assert sorted(w.tolist()) == sorted(w2.tolist())

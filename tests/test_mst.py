@@ -1,0 +1,141 @@
+"""Tests for Boruvka MST: all implementations against Kruskal and
+networkx, plus structural properties."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphgen import grid2d, random_graph, rmat, road_network
+from repro.mst import boruvka_gpu, boruvka_merge, boruvka_unionfind, kruskal
+
+ALL_IMPLS = [boruvka_gpu, boruvka_merge, boruvka_unionfind, kruskal]
+
+
+def nx_mst_weight(n, src, dst, w):
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_weighted_edges_from(zip(src.tolist(), dst.tolist(), w.tolist()))
+    forest = nx.minimum_spanning_edges(g, data=True)
+    return int(sum(d["weight"] for _, _, d in forest))
+
+
+def tiny_graph():
+    src = np.array([0, 0, 1, 2, 3])
+    dst = np.array([1, 2, 2, 3, 4])
+    w = np.array([4, 1, 2, 7, 3], dtype=np.int64)
+    return 5, src, dst, w
+
+
+class TestCorrectnessTiny:
+    @pytest.mark.parametrize("impl", ALL_IMPLS)
+    def test_tiny_known_mst(self, impl):
+        n, s, d, w = tiny_graph()
+        r = impl(n, s, d, w)
+        # MST edges: (0,2,1),(1,2,2),(3,4,3),(2,3,7) -> weight 13
+        assert r.total_weight == 13
+        assert r.num_components == 1
+        assert r.mst_edges.size == 4
+
+    @pytest.mark.parametrize("impl", ALL_IMPLS)
+    def test_single_edge(self, impl):
+        r = impl(2, np.array([0]), np.array([1]), np.array([9], dtype=np.int64))
+        assert r.total_weight == 9
+        assert r.mst_edges.tolist() == [0]
+
+    @pytest.mark.parametrize("impl", ALL_IMPLS)
+    def test_disconnected_forest(self, impl):
+        # two components: {0,1} and {2,3}
+        r = impl(4, np.array([0, 2]), np.array([1, 3]),
+                 np.array([5, 6], dtype=np.int64))
+        assert r.num_components == 2
+        assert r.total_weight == 11
+
+    @pytest.mark.parametrize("impl", ALL_IMPLS)
+    def test_isolated_nodes(self, impl):
+        r = impl(5, np.array([0]), np.array([1]),
+                 np.array([2], dtype=np.int64))
+        assert r.num_components == 4
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("gen", [
+        lambda: grid2d(12, seed=1),
+        lambda: road_network(150, seed=2),
+        lambda: rmat(7, 6, seed=3),
+        lambda: random_graph(120, 400, seed=4),
+    ])
+    @pytest.mark.parametrize("impl", ALL_IMPLS)
+    def test_weight_matches_networkx(self, gen, impl):
+        n, s, d, w = gen()
+        expected = nx_mst_weight(n, s, d, w)
+        assert impl(n, s, d, w).total_weight == expected
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs_all_agree(self, seed):
+        n, s, d, w = random_graph(40, 100, seed=seed)
+        weights = {impl.__name__: impl(n, s, d, w).total_weight
+                   for impl in ALL_IMPLS}
+        assert len(set(weights.values())) == 1, weights
+        assert next(iter(weights.values())) == nx_mst_weight(n, s, d, w)
+
+
+class TestStructuralProperties:
+    def test_mst_is_acyclic_and_spanning(self):
+        n, s, d, w = random_graph(200, 800, seed=7)
+        r = boruvka_gpu(n, s, d, w)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for e in r.mst_edges.tolist():
+            g.add_edge(int(s[e]), int(d[e]))
+        assert nx.number_of_edges(g) == r.mst_edges.size
+        assert not nx.cycle_basis(g)  # forest
+        assert nx.number_connected_components(g) == r.num_components
+
+    def test_rounds_logarithmic(self):
+        n, s, d, w = grid2d(40, seed=1)
+        r = boruvka_gpu(n, s, d, w)
+        assert r.rounds <= int(np.ceil(np.log2(n))) + 2
+
+    def test_counters_record_kernels(self):
+        n, s, d, w = grid2d(12, seed=1)
+        r = boruvka_gpu(n, s, d, w)
+        for kname in ("mst.k1_nodemin", "mst.k2_compmin", "mst.k3_cycle",
+                      "mst.k4_merge"):
+            assert kname in r.counter
+            assert r.counter.kernel(kname).launches == r.rounds or \
+                r.counter.kernel(kname).launches == r.rounds - 1
+
+    def test_weights_over_31_bits_rejected(self):
+        with pytest.raises(ValueError):
+            boruvka_gpu(2, np.array([0]), np.array([1]),
+                        np.array([1 << 32], dtype=np.int64))
+
+    def test_merge_baseline_density_blowup(self):
+        """Fig. 11's driving effect: explicit list merging does far more
+        work per edge on dense power-law graphs than on sparse grids."""
+        n1, s1, d1, w1 = grid2d(64, seed=1)          # sparse
+        n2, s2, d2, w2 = rmat(12, 16, seed=1)        # dense power-law
+        g1 = boruvka_merge(n1, s1, d1, w1)
+        g2 = boruvka_merge(n2, s2, d2, w2)
+        work1 = g1.counter.kernel("merge.round").word_reads / s1.size
+        work2 = g2.counter.kernel("merge.round").word_reads / s2.size
+        assert work2 > 2 * work1
+
+    def test_unionfind_immune_to_density(self):
+        n1, s1, d1, w1 = grid2d(64, seed=1)
+        n2, s2, d2, w2 = rmat(12, 16, seed=1)
+        u1 = boruvka_unionfind(n1, s1, d1, w1)
+        u2 = boruvka_unionfind(n2, s2, d2, w2)
+        work1 = u1.counter.kernel("uf.round").word_reads / s1.size
+        work2 = u2.counter.kernel("uf.round").word_reads / s2.size
+        assert work2 < 4 * work1  # roughly linear in edges either way
+
+    def test_gpu_critical_path_grows_late_rounds(self):
+        """Late rounds have giant components: the per-component scan's
+        critical path must be a significant fraction of n."""
+        n, s, d, w = road_network(5000, seed=3)
+        r = boruvka_gpu(n, s, d, w)
+        ks = r.counter.kernel("mst.k2_compmin")
+        assert ks.critical_lane_steps >= n  # sum over rounds of max size

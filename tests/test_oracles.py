@@ -1,0 +1,144 @@
+"""Tests for the verification oracles: DPLL, Prim, PTA cycle collapse."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphgen import grid2d, random_graph, road_network
+from repro.mst import boruvka_gpu, kruskal, prim
+from repro.pta import (andersen_pull, andersen_serial, collapse_cycles,
+                       copy_sccs, expand_solution, generate_constraints,
+                       Constraints, Kind)
+from repro.satsp import CNF, DPLLBudgetExceeded, dpll, random_ksat, walksat
+
+
+class TestDPLL:
+    def test_simple_sat(self):
+        cnf = CNF(num_vars=3, vars=np.array([[0, 1, 2]]),
+                  signs=np.array([[1, 1, 1]], dtype=np.int8))
+        a = dpll(cnf)
+        assert a is not None and cnf.check(a)
+
+    def test_unsat_all_patterns(self):
+        signs = np.array([[s0, s1, s2] for s0 in (1, -1)
+                          for s1 in (1, -1) for s2 in (1, -1)],
+                         dtype=np.int8)
+        cnf = CNF(num_vars=3, vars=np.tile(np.array([0, 1, 2]), (8, 1)),
+                  signs=signs)
+        assert dpll(cnf) is None
+
+    def test_forced_chain(self):
+        # unit-ish chain via duplicated literals: (x0 x0 x0) forces x0
+        cnf = CNF(num_vars=2, vars=np.array([[0, 0, 0], [0, 1, 1]]),
+                  signs=np.array([[1, 1, 1], [-1, 1, 1]], dtype=np.int8))
+        a = dpll(cnf)
+        assert a is not None
+        assert a[0] and a[1]
+
+    def test_budget_guard(self):
+        cnf = random_ksat(60, 3, ratio=4.26, seed=1)
+        with pytest.raises(DPLLBudgetExceeded):
+            dpll(cnf, max_decisions=1)
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_agrees_with_walksat_when_sat(self, seed):
+        cnf = random_ksat(25, 3, ratio=4.0, seed=seed)
+        exact = dpll(cnf, max_decisions=200_000)
+        ws = walksat(cnf, max_flips=60_000, seed=seed, restarts=2)
+        if exact is None:
+            # walksat is incomplete but must never claim SAT on UNSAT
+            assert ws is None
+        if ws is not None:
+            assert cnf.check(ws)
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_phase_transition_below_threshold_mostly_sat(self, seed):
+        cnf = random_ksat(30, 3, ratio=3.0, seed=seed)
+        # at ratio 3.0 nearly every instance is satisfiable
+        a = dpll(cnf, max_decisions=500_000)
+        assert a is not None
+
+
+class TestPrim:
+    @pytest.mark.parametrize("gen", [
+        lambda: grid2d(10, seed=1),
+        lambda: road_network(300, seed=2),
+        lambda: random_graph(80, 240, seed=3),
+    ])
+    def test_matches_kruskal(self, gen):
+        n, s, d, w = gen()
+        assert prim(n, s, d, w).total_weight == \
+            kruskal(n, s, d, w).total_weight
+
+    def test_matches_boruvka(self):
+        n, s, d, w = random_graph(150, 600, seed=4)
+        assert prim(n, s, d, w).total_weight == \
+            boruvka_gpu(n, s, d, w).total_weight
+
+    def test_forest_on_disconnected(self):
+        r = prim(4, np.array([0, 2]), np.array([1, 3]),
+                 np.array([5, 6], dtype=np.int64))
+        assert r.num_components == 2
+        assert r.total_weight == 11
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_kruskal(self, seed):
+        n, s, d, w = random_graph(30, 70, seed=seed)
+        assert prim(n, s, d, w).total_weight == \
+            kruskal(n, s, d, w).total_weight
+
+
+class TestCycleCollapse:
+    def _two_cycle(self):
+        # p0 = p1 ; p1 = p0 ; p0 = &o2 ; p3 = p1
+        return Constraints(
+            num_vars=4,
+            kind=np.array([1, 1, 0, 1], dtype=np.int8),
+            lhs=np.array([0, 1, 0, 3]),
+            rhs=np.array([1, 0, 2, 1]))
+
+    def test_scc_detection(self):
+        scc = copy_sccs(self._two_cycle())
+        assert scc[0] == scc[1]
+        assert scc[3] != scc[0]
+
+    def test_collapse_drops_self_copies(self):
+        collapsed, rep, merged = collapse_cycles(self._two_cycle())
+        assert merged == 1
+        p, q = collapsed.of_kind(Kind.COPY)
+        assert np.all(p != q)
+
+    def test_solution_preserved(self):
+        cons = self._two_cycle()
+        plain = andersen_serial(cons)
+        collapsed, rep, _ = collapse_cycles(cons)
+        opt = andersen_pull(collapsed, rep=rep)
+        look = expand_solution(opt.points_to, rep)
+        for v in range(4):
+            assert look(v).tolist() == plain.points_to(v).tolist()
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=12, deadline=None)
+    def test_property_solution_preserved(self, seed):
+        cons = generate_constraints(80, 160, seed=seed, cross_block=0.3)
+        plain = andersen_serial(cons)
+        collapsed, rep, _ = collapse_cycles(cons)
+        opt = andersen_pull(collapsed, rep=rep)
+        look = expand_solution(opt.points_to, rep)
+        for v in range(80):
+            assert look(v).tolist() == plain.points_to(v).tolist()
+
+    def test_collapse_shrinks_work(self):
+        # craft a long copy cycle: v0 -> v1 -> ... -> v9 -> v0
+        n = 12
+        lhs = np.array([(i + 1) % 10 for i in range(10)] + [10])
+        rhs = np.array(list(range(10)) + [11])
+        kind = np.array([1] * 10 + [0], dtype=np.int8)
+        cons = Constraints(num_vars=n, kind=kind, lhs=lhs,
+                           rhs=rhs)
+        collapsed, rep, merged = collapse_cycles(cons)
+        assert merged == 9
+        assert collapsed.of_kind(Kind.COPY)[0].size == 0

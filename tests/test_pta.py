@@ -1,0 +1,222 @@
+"""Tests for points-to analysis: constraints, bit sets, edge lists, and
+the three analysis engines (which must compute identical fixed points)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pta import (BitMatrix, Constraints, Kind, PullGraph, PushGraph,
+                       SPEC2000, andersen_pull, andersen_push,
+                       andersen_serial, generate_constraints,
+                       generate_spec_like)
+
+
+class TestConstraints:
+    def test_generation_counts(self):
+        c = generate_constraints(200, 300, seed=1)
+        assert c.num_constraints == 300
+        assert c.num_vars == 200
+
+    def test_mix_roughly_respected(self):
+        c = generate_constraints(500, 1000, seed=2)
+        counts = c.counts()
+        assert counts["COPY"] > counts["STORE"]
+        assert counts["ADDRESS_OF"] > 100
+
+    def test_of_kind_partition(self):
+        c = generate_constraints(100, 150, seed=3)
+        total = sum(c.of_kind(k)[0].size for k in Kind)
+        assert total == 150
+
+    def test_no_self_copies(self):
+        c = generate_constraints(100, 400, seed=4)
+        p, q = c.of_kind(Kind.COPY)
+        assert np.all(p != q)
+
+    def test_spec_like_sizes(self):
+        for name, (nvars, ncons) in SPEC2000.items():
+            c = generate_spec_like(name, seed=0)
+            assert c.num_vars == nvars
+            assert c.num_constraints == ncons
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(KeyError):
+            generate_spec_like("999.nope")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Constraints(num_vars=2, kind=np.array([0], dtype=np.int8),
+                        lhs=np.array([0]), rhs=np.array([5]))
+
+    def test_reproducible(self):
+        a = generate_constraints(100, 120, seed=9)
+        b = generate_constraints(100, 120, seed=9)
+        assert np.array_equal(a.lhs, b.lhs)
+        assert np.array_equal(a.rhs, b.rhs)
+
+
+class TestBitMatrix:
+    def test_add_contains(self):
+        bm = BitMatrix(4, 100)
+        bm.add([0, 0, 2], [5, 99, 0])
+        assert bm.contains(0, 5)
+        assert bm.contains(0, 99)
+        assert bm.contains(2, 0)
+        assert not bm.contains(1, 5)
+
+    def test_members_sorted(self):
+        bm = BitMatrix(1, 200)
+        bm.add([0, 0, 0], [150, 3, 64])
+        assert bm.members(0).tolist() == [3, 64, 150]
+
+    def test_union_into(self):
+        bm = BitMatrix(3, 64)
+        bm.add([0, 1], [1, 2])
+        changed = bm.union_into(2, np.array([0, 1]))
+        assert changed
+        assert bm.members(2).tolist() == [1, 2]
+        assert not bm.union_into(2, np.array([0, 1]))  # idempotent
+
+    def test_union_into_empty_srcs(self):
+        bm = BitMatrix(2, 10)
+        assert not bm.union_into(0, np.array([], dtype=np.int64))
+
+    def test_counts(self):
+        bm = BitMatrix(2, 70)
+        bm.add([0, 0, 1], [0, 69, 3])
+        assert bm.counts().tolist() == [2, 1]
+
+    def test_copy_equal(self):
+        bm = BitMatrix(2, 64)
+        bm.add([0], [7])
+        cp = bm.copy()
+        assert bm.equal(cp)
+        cp.add([1], [8])
+        assert not bm.equal(cp)
+
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 199)),
+                    max_size=60))
+    @settings(max_examples=40)
+    def test_matches_set_reference(self, pairs):
+        bm = BitMatrix(5, 200)
+        ref = [set() for _ in range(5)]
+        for s, v in pairs:
+            bm.add([s], [v])
+            ref[s].add(v)
+        for s in range(5):
+            assert bm.members(s).tolist() == sorted(ref[s])
+            assert bm.counts()[s] == len(ref[s])
+
+
+class TestEdgeLists:
+    def test_pull_add_incoming(self):
+        g = PullGraph(4, chunk_size=8)
+        added = g.add_edges(np.array([0, 1, 0]), np.array([2, 2, 2]))
+        assert added == 2  # duplicate 0->2 suppressed
+        assert sorted(g.incoming(2).tolist()) == [0, 1]
+
+    def test_pull_dedup(self):
+        g = PullGraph(3)
+        assert g.add_edges(np.array([0, 0]), np.array([1, 1])) == 1
+        assert g.add_edges(np.array([0]), np.array([1])) == 0
+        assert g.num_edges == 1
+
+    def test_push_outgoing(self):
+        g = PushGraph(3)
+        g.add_edges(np.array([0, 0]), np.array([1, 2]))
+        assert sorted(g.outgoing(0).tolist()) == [1, 2]
+        assert g.degree(0) == 2
+
+    def test_degrees(self):
+        g = PullGraph(3)
+        g.add_edges(np.array([0, 1]), np.array([2, 2]))
+        assert g.degrees().tolist() == [0, 0, 2]
+
+
+class TestAnalysisEngines:
+    def test_address_of_only(self):
+        c = Constraints(num_vars=3, kind=np.array([0, 0], dtype=np.int8),
+                        lhs=np.array([0, 1]), rhs=np.array([2, 2]))
+        r = andersen_pull(c)
+        assert r.points_to(0).tolist() == [2]
+        assert r.points_to(1).tolist() == [2]
+
+    def test_copy_chain(self):
+        # p0 = &o2 ; p1 = p0 -> pts(p1) = {o2}
+        c = Constraints(num_vars=3,
+                        kind=np.array([0, 1], dtype=np.int8),
+                        lhs=np.array([0, 1]), rhs=np.array([2, 0]))
+        r = andersen_pull(c)
+        assert r.points_to(1).tolist() == [2]
+
+    def test_load(self):
+        # p0 = &p1 ; p1 = &o2 ; p3 = *p0  ->  pts(p3) = {o2}
+        c = Constraints(num_vars=4,
+                        kind=np.array([0, 0, 2], dtype=np.int8),
+                        lhs=np.array([0, 1, 3]), rhs=np.array([1, 2, 0]))
+        r = andersen_pull(c)
+        assert r.points_to(3).tolist() == [2]
+
+    def test_store(self):
+        # p0 = &p1 ; p2 = &o3 ; *p0 = p2  ->  pts(p1) = {o3}
+        c = Constraints(num_vars=4,
+                        kind=np.array([0, 0, 3], dtype=np.int8),
+                        lhs=np.array([0, 2, 0]), rhs=np.array([1, 3, 2]))
+        r = andersen_pull(c)
+        assert r.points_to(1).tolist() == [3]
+
+    def test_cycle_converges(self):
+        # p0 = p1 ; p1 = p0 ; p0 = &o2
+        c = Constraints(num_vars=3,
+                        kind=np.array([1, 1, 0], dtype=np.int8),
+                        lhs=np.array([0, 1, 0]), rhs=np.array([1, 0, 2]))
+        r = andersen_pull(c)
+        assert r.points_to(0).tolist() == [2]
+        assert r.points_to(1).tolist() == [2]
+
+    @pytest.mark.parametrize("engine", [andersen_pull, andersen_push])
+    def test_engine_matches_serial(self, engine):
+        c = generate_constraints(150, 200, seed=5)
+        r = engine(c)
+        s = andersen_serial(c)
+        for v in range(150):
+            assert r.points_to(v).tolist() == s.points_to(v).tolist()
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_pull_push_serial_agree(self, seed):
+        c = generate_constraints(60, 90, seed=seed)
+        pl = andersen_pull(c)
+        ph = andersen_push(c)
+        se = andersen_serial(c)
+        assert pl.pts.equal(ph.pts)
+        assert pl.total_facts() == se.total_facts()
+        for v in range(60):
+            assert pl.points_to(v).tolist() == se.points_to(v).tolist()
+
+    def test_pull_has_no_atomics_push_does(self):
+        c = generate_constraints(200, 260, seed=6)
+        pl = andersen_pull(c)
+        ph = andersen_push(c)
+        assert pl.counter.kernel("pta.propagate").atomics == 0
+        assert ph.counter.kernel("pta.propagate").atomics > 0
+
+    def test_solution_includes_address_of_seeds(self):
+        """The fixed point is a superset of the initial address-of facts."""
+        c = generate_constraints(120, 160, seed=7)
+        r = andersen_pull(c)
+        p, q = c.of_kind(Kind.ADDRESS_OF)
+        for pi, qi in zip(p.tolist(), q.tolist()):
+            assert r.pts.contains(pi, qi)
+        assert r.total_facts() >= len(set(zip(p.tolist(), q.tolist())))
+
+    def test_chunked_allocation_used(self):
+        c = generate_constraints(300, 500, seed=8)
+        r = andersen_pull(c, chunk_size=16)
+        assert r.counter.scalars.get("pta.chunks_malloced", 0) >= 0
+        assert r.edges_added > 0
+
+    def test_rounds_bounded(self):
+        c = generate_constraints(100, 140, seed=9)
+        r = andersen_pull(c, max_rounds=100)
+        assert r.rounds < 100

@@ -1,0 +1,154 @@
+"""Deeper PTA tests: bit-matrix scaling, chunk sizes, work sorting,
+counter structure, and adversarial constraint patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pta import (BitMatrix, Constraints, Kind, andersen_pull,
+                       andersen_push, andersen_serial, generate_constraints)
+
+
+def mk(num_vars, triples):
+    """triples: (kind, lhs, rhs)."""
+    k = np.array([t[0] for t in triples], dtype=np.int8)
+    l = np.array([t[1] for t in triples], dtype=np.int64)
+    r = np.array([t[2] for t in triples], dtype=np.int64)
+    return Constraints(num_vars=num_vars, kind=k, lhs=l, rhs=r)
+
+
+class TestAdversarialPatterns:
+    def test_self_loop_load(self):
+        # p = &p ; q = *p  ->  pts(q) = pts(p) = {p}
+        cons = mk(2, [(0, 0, 0), (2, 1, 0)])
+        r = andersen_pull(cons)
+        assert r.points_to(0).tolist() == [0]
+        assert r.points_to(1).tolist() == [0]
+
+    def test_self_store(self):
+        # p = &p ; *p = p  ->  edge p -> p (self copy), stable
+        cons = mk(1, [(0, 0, 0), (3, 0, 0)])
+        r = andersen_pull(cons)
+        assert r.points_to(0).tolist() == [0]
+
+    def test_store_then_load_chain(self):
+        # p=&a ; q=&b ; *p=q ; r=*p  => pts(a)={b}, pts(r)={b}
+        cons = mk(5, [(0, 0, 2), (0, 1, 3), (3, 0, 1), (2, 4, 0)])
+        r = andersen_pull(cons)
+        assert r.points_to(2).tolist() == [3]
+        assert r.points_to(4).tolist() == [3]
+
+    def test_deep_copy_chain_converges_in_linear_rounds(self):
+        # v0=&o ; v1=v0 ; v2=v1 ; ... chain of length 30
+        n = 32
+        triples = [(0, 0, n - 1)]
+        triples += [(1, i + 1, i) for i in range(n - 2)]
+        cons = mk(n, triples)
+        r = andersen_pull(cons)
+        for i in range(n - 1):
+            assert r.points_to(i).tolist() == [n - 1]
+
+    def test_diamond(self):
+        # p=&o ; a=p ; b=p ; c=a ; c=b  -> single fact everywhere
+        cons = mk(5, [(0, 0, 4), (1, 1, 0), (1, 2, 0), (1, 3, 1),
+                      (1, 3, 2)])
+        r = andersen_pull(cons)
+        assert r.points_to(3).tolist() == [4]
+        assert r.total_facts() == 4
+
+    def test_mutual_loads(self):
+        # p=&q ; q=&o ; p2=*p (gets pts(q)={o}) ; q2=*p2? no - keep simple
+        cons = mk(4, [(0, 0, 1), (0, 1, 3), (2, 2, 0)])
+        r = andersen_pull(cons)
+        assert r.points_to(2).tolist() == [3]
+
+    @pytest.mark.parametrize("engine", [andersen_pull, andersen_push,
+                                        andersen_serial])
+    def test_no_constraints(self, engine):
+        cons = mk(10, [])
+        r = engine(cons)
+        assert r.total_facts() == 0
+
+
+class TestBitMatrixScaling:
+    def test_universe_not_multiple_of_64(self):
+        bm = BitMatrix(2, 100)
+        bm.add([0], [99])
+        assert bm.contains(0, 99)
+        assert bm.members(0).tolist() == [99]
+
+    def test_word_boundary_members(self):
+        bm = BitMatrix(1, 130)
+        bm.add([0, 0, 0], [63, 64, 128])
+        assert bm.members(0).tolist() == [63, 64, 128]
+
+    def test_large_union(self):
+        bm = BitMatrix(10, 1000)
+        for s in range(9):
+            bm.add([s], [s * 100])
+        changed = bm.union_into(9, np.arange(9))
+        assert changed
+        assert bm.counts()[9] == 9
+
+
+class TestChunkSizes:
+    @pytest.mark.parametrize("chunk", [4, 16, 256])
+    def test_chunk_size_does_not_change_solution(self, chunk):
+        cons = generate_constraints(150, 220, seed=14)
+        base = andersen_pull(cons, chunk_size=1024)
+        other = andersen_pull(cons, chunk_size=chunk)
+        assert base.pts.equal(other.pts)
+
+    def test_small_chunks_allocate_more(self):
+        cons = generate_constraints(300, 450, seed=15)
+        small = andersen_pull(cons, chunk_size=4)
+        big = andersen_pull(cons, chunk_size=512)
+        assert small.counter.scalars.get("pta.chunks_malloced", 0) >= \
+            big.counter.scalars.get("pta.chunks_malloced", 0)
+
+
+class TestCounters:
+    def test_kernel_structure(self):
+        cons = generate_constraints(120, 180, seed=16)
+        r = andersen_pull(cons)
+        assert "pta.init" in r.counter
+        assert "pta.addedge" in r.counter
+        assert "pta.propagate" in r.counter
+        # one addedge + one propagate launch per round (plus the static
+        # copy-edge install)
+        assert r.counter.kernel("pta.propagate").launches == r.rounds
+
+    def test_propagate_work_sorted_for_divergence(self):
+        """Section 7.6: the recorded work vector is sorted, so warps see
+        near-uniform work and the divergence factor stays low."""
+        cons = generate_constraints(400, 600, seed=17)
+        r = andersen_pull(cons)
+        ks = r.counter.kernel("pta.propagate")
+        assert ks.divergence < 4.0
+
+    def test_serial_single_thread_semantics(self):
+        cons = generate_constraints(100, 150, seed=18)
+        r = andersen_serial(cons)
+        ks = r.counter.kernel("pta.serial")
+        assert ks.items == r.pops
+        assert ks.launches == 1
+
+
+class TestGeneratorProperties:
+    @given(st.integers(20, 200), st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_any_size_analyzable(self, nvars, seed):
+        ncons = int(nvars * 1.3)
+        cons = generate_constraints(nvars, ncons, seed=seed)
+        r = andersen_pull(cons, max_rounds=500)
+        assert r.rounds < 500
+        s = andersen_serial(cons)
+        assert r.total_facts() == s.total_facts()
+
+    def test_density_controlled(self):
+        """The block structure must keep the closure shallow: average
+        points-to set size stays modest even for crafty-sized inputs."""
+        cons = generate_constraints(6126, 6768, seed=0)
+        r = andersen_pull(cons)
+        avg = r.total_facts() / cons.num_vars
+        assert avg < 60

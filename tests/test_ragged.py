@@ -1,0 +1,81 @@
+"""Tests for the ragged per-thread claim arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ragged import Ragged
+
+
+class TestRagged:
+    def test_from_lists(self):
+        r = Ragged.from_lists([[1, 2], [], [3]])
+        assert r.num_rows == 3
+        assert r.row(0).tolist() == [1, 2]
+        assert r.row(1).tolist() == []
+        assert r.row(2).tolist() == [3]
+
+    def test_lengths(self):
+        r = Ragged.from_lists([[1, 2], [], [3]])
+        assert r.lengths().tolist() == [2, 0, 1]
+        assert r.total() == 3
+
+    def test_row_ids(self):
+        r = Ragged.from_lists([[1, 2], [], [3]])
+        assert r.row_ids().tolist() == [0, 0, 2]
+
+    def test_empty(self):
+        r = Ragged.from_lists([])
+        assert r.num_rows == 0
+        assert r.total() == 0
+
+    def test_all_empty_rows(self):
+        r = Ragged.from_lists([[], [], []])
+        assert r.num_rows == 3
+        assert r.total() == 0
+
+    def test_iter(self):
+        r = Ragged.from_lists([[5], [6, 7]])
+        assert [row.tolist() for row in r] == [[5], [6, 7]]
+
+    def test_bad_offsets_raise(self):
+        with pytest.raises(ValueError):
+            Ragged(np.array([1, 2]), np.array([0]))
+        with pytest.raises(ValueError):
+            Ragged(np.array([0, 3]), np.array([0]))
+        with pytest.raises(ValueError):
+            Ragged(np.array([0, 2, 1, 3]), np.array([0, 1, 2]))
+
+    def test_select_rows_by_mask(self):
+        r = Ragged.from_lists([[1], [2, 3], [4]])
+        s = r.select_rows(np.array([True, False, True]))
+        assert s.num_rows == 2
+        assert s.row(0).tolist() == [1]
+        assert s.row(1).tolist() == [4]
+
+    def test_select_rows_by_index(self):
+        r = Ragged.from_lists([[1], [2, 3], [4]])
+        s = r.select_rows(np.array([1]))
+        assert s.row(0).tolist() == [2, 3]
+
+    def test_select_rows_empty_selection(self):
+        r = Ragged.from_lists([[1], [2]])
+        s = r.select_rows(np.array([], dtype=np.int64))
+        assert s.num_rows == 0
+
+    @given(st.lists(st.lists(st.integers(-100, 100), max_size=6),
+                    max_size=20))
+    @settings(max_examples=50)
+    def test_roundtrip(self, rows):
+        r = Ragged.from_lists(rows)
+        assert [row.tolist() for row in r] == rows
+        assert r.total() == sum(len(x) for x in rows)
+
+    @given(st.lists(st.lists(st.integers(0, 9), max_size=4), min_size=1,
+                    max_size=10))
+    @settings(max_examples=40)
+    def test_row_ids_align_with_values(self, rows):
+        r = Ragged.from_lists(rows)
+        ids = r.row_ids()
+        for rid, val in zip(ids.tolist(), r.values.tolist()):
+            assert val in rows[rid]

@@ -1,0 +1,166 @@
+"""Deeper SP tests: higher K, decimation dynamics, cache numerics,
+residual construction edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.counters import OpCounter
+from repro.satsp import (CNF, FactorGraph, HARD_RATIOS, SPConfig, dpll,
+                         random_ksat, solve_sp, survey_iteration)
+from repro.satsp.sp import run_sp
+
+
+class TestHigherK:
+    @pytest.mark.parametrize("k", [4, 5, 6])
+    def test_hard_ratio_generation(self, k):
+        cnf = random_ksat(100, k, seed=1)
+        assert cnf.k == k
+        assert cnf.ratio == pytest.approx(HARD_RATIOS[k], abs=0.01)
+        for row in cnf.vars:
+            assert len(set(row.tolist())) == k
+
+    @pytest.mark.parametrize("k", [4, 5])
+    def test_surveys_update_for_k(self, k):
+        cnf = random_ksat(150, k, seed=2)
+        fg = FactorGraph(cnf, seed=2)
+        d0 = survey_iteration(fg)
+        assert 0 <= d0 <= 1
+        assert np.all((fg.eta >= 0) & (fg.eta <= 1))
+
+    def test_k4_phase_runs(self):
+        cnf = random_ksat(400, 4, seed=3)
+        ctr = OpCounter()
+        fg = FactorGraph(cnf, seed=3)
+        phases, iters, contra = run_sp(
+            fg, SPConfig(seed=3, max_iters=60, max_phases=3,
+                         solver_cutoff=32, require_convergence=False), ctr)
+        assert iters > 0
+        assert not contra or fg.num_unfixed < 400
+
+
+class TestDecimationDynamics:
+    def test_graph_shrinks_monotonically(self):
+        cnf = random_ksat(400, 3, seed=4)
+        fg = FactorGraph(cnf, seed=4)
+        prev_edges = fg.num_live_edges
+        prev_unfixed = fg.num_unfixed
+        for _ in range(4):
+            for _ in range(80):
+                if survey_iteration(fg, damping=0.5) < 1e-3:
+                    break
+            rep = fg.decimate(fg.biases(), fraction=0.02)
+            if rep.contradiction:
+                break
+            assert fg.num_live_edges <= prev_edges
+            assert fg.num_unfixed <= prev_unfixed
+            prev_edges = fg.num_live_edges
+            prev_unfixed = fg.num_unfixed
+
+    def test_decimation_respects_fraction(self):
+        cnf = random_ksat(500, 3, seed=5)
+        fg = FactorGraph(cnf, seed=5)
+        for _ in range(50):
+            survey_iteration(fg, damping=0.5)
+        rep = fg.decimate(fg.biases(), fraction=0.02, at_least=1)
+        # fixed directly: ~2% of 500 = 10 (units may add more)
+        assert rep.fixed - rep.units_propagated <= 10 + 1
+
+    def test_decimate_nothing_when_all_fixed(self):
+        # all-positive clauses: setting every variable True is consistent
+        cnf = random_ksat(20, 3, ratio=1.0, seed=6)
+        cnf = CNF(num_vars=20, vars=cnf.vars,
+                  signs=np.ones_like(cnf.signs))
+        fg = FactorGraph(cnf, seed=6)
+        rep0 = fg.assign(np.arange(20), np.ones(20, dtype=np.int8))
+        assert not rep0.contradiction
+        rep = fg.decimate(fg.biases())
+        assert rep.fixed == 0
+
+    def test_dead_edges_stay_neutral_in_update(self):
+        """Killing a clause must not perturb other edges' surveys
+        beyond what removing its warnings implies: eta stays in [0,1]
+        and dead edges stay at 0."""
+        cnf = random_ksat(100, 3, seed=7)
+        fg = FactorGraph(cnf, seed=7)
+        for _ in range(20):
+            survey_iteration(fg)
+        fg.decimate(fg.biases(), fraction=0.05)
+        for _ in range(5):
+            survey_iteration(fg)
+        assert np.all(fg.eta[~fg.live_edge] == 0.0)
+        assert np.all(fg.eta[fg.live_edge] >= 0.0)
+        assert np.all(fg.eta[fg.live_edge] <= 1.0 + 1e-12)
+
+
+class TestResidualConstruction:
+    def test_residual_respects_fixed_vars(self):
+        cnf = random_ksat(60, 3, ratio=2.0, seed=8)
+        fg = FactorGraph(cnf, seed=8)
+        fg.assign(np.array([5, 6, 7]), np.array([1, 0, 1]))
+        res, var_map, live_c = fg.residual_cnf()
+        assert res.num_vars == fg.num_unfixed
+        # no residual clause mentions a fixed variable
+        originals = var_map[res.vars]
+        assert not np.isin(originals, [5, 6, 7]).any()
+
+    def test_solution_through_residual_checks(self):
+        cnf = random_ksat(60, 3, ratio=2.0, seed=9)
+        fg = FactorGraph(cnf, seed=9)
+        fg.assign(np.array([0]), np.array([1]))
+        res, var_map, _ = fg.residual_cnf()
+        exact = dpll(res, max_decisions=500_000)
+        if exact is not None:
+            full = fg.full_assignment(exact, var_map)
+            assert cnf.check(full)
+
+    def test_empty_residual(self):
+        cnf = CNF(num_vars=3, vars=np.array([[0, 1, 2]]),
+                  signs=np.array([[1, 1, 1]], dtype=np.int8))
+        fg = FactorGraph(cnf)
+        fg.assign(np.array([0]), np.array([1]))  # satisfies the clause
+        res, var_map, _ = fg.residual_cnf()
+        assert res.num_clauses == 0
+        assert cnf.check(fg.full_assignment())
+
+
+class TestCacheNumerics:
+    def test_cached_flag_changes_counts_not_values(self):
+        cnf = random_ksat(200, 3, seed=10)
+        fg1 = FactorGraph(cnf, seed=1)
+        fg2 = FactorGraph(cnf, seed=1)
+        c1, c2 = OpCounter(), OpCounter()
+        for _ in range(5):
+            survey_iteration(fg1, counter=c1, cached=True)
+            survey_iteration(fg2, counter=c2, cached=False)
+        np.testing.assert_array_equal(fg1.eta, fg2.eta)
+        assert c2.kernel("sp.update").word_reads > \
+            c1.kernel("sp.update").word_reads
+
+    def test_eta_one_exact_zero_products(self):
+        """Surveys of exactly 1 make (1 - eta) = 0; the zero-count trick
+        must keep exclude-one products exact rather than dividing by 0."""
+        cnf = random_ksat(50, 3, seed=11)
+        fg = FactorGraph(cnf, seed=11)
+        fg.eta[:] = 0.5
+        fg.eta[0] = 1.0
+        fg.eta[7] = 1.0
+        d = survey_iteration(fg)
+        assert np.isfinite(fg.eta).all()
+        assert np.isfinite(d)
+
+
+class TestSolveRobustness:
+    def test_unknown_not_crash_on_tiny_hard(self):
+        cnf = random_ksat(120, 3, ratio=4.26, seed=12)
+        r = solve_sp(cnf, SPConfig(seed=12, max_iters=150, max_phases=15))
+        assert r.status in ("SAT", "UNKNOWN", "CONTRADICTION")
+        if r.sat:
+            assert cnf.check(r.assignment)
+
+    def test_require_convergence_off_still_terminates(self):
+        cnf = random_ksat(200, 3, seed=13)
+        r = solve_sp(cnf, SPConfig(seed=13, max_iters=30, max_phases=5,
+                                   require_convergence=False,
+                                   walksat_flips=20_000))
+        assert r.phases <= 5

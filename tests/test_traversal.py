@@ -1,0 +1,116 @@
+"""Tests for the non-morph reference kernels (BFS, SSSP, components)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.csr import edges_to_csr
+from repro.core.traversal import (bfs_levels, connected_components,
+                                  sssp_bellman_ford)
+from repro.graphgen import grid2d, random_graph, undirected_edges_to_csr
+
+
+def undirected(n, pairs, weights=None):
+    src = np.asarray([p[0] for p in pairs] + [p[1] for p in pairs])
+    dst = np.asarray([p[1] for p in pairs] + [p[0] for p in pairs])
+    w = None
+    if weights is not None:
+        w = np.asarray(list(weights) + list(weights), dtype=np.float64)
+    return edges_to_csr(n, src, dst, weights=w)
+
+
+class TestBFS:
+    def test_path_graph(self):
+        g = undirected(4, [(0, 1), (1, 2), (2, 3)])
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3]
+
+    def test_unreachable(self):
+        g = undirected(4, [(0, 1)])
+        levels = bfs_levels(g, 0)
+        assert levels[2] == -1 and levels[3] == -1
+
+    def test_matches_networkx(self):
+        n, s, d, w = random_graph(60, 150, seed=3)
+        g = undirected_edges_to_csr(n, s, d, w)
+        levels = bfs_levels(g, 0)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(n))
+        nxg.add_edges_from(zip(s.tolist(), d.tolist()))
+        expected = nx.single_source_shortest_path_length(nxg, 0)
+        for v in range(n):
+            assert levels[v] == expected.get(v, -1)
+
+    def test_counter_levels(self):
+        g = undirected(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        from repro.core.counters import OpCounter
+        c = OpCounter()
+        bfs_levels(g, 0, counter=c)
+        # 4 productive levels + the final launch that finds no new nodes
+        assert c.kernel("bfs.level").launches == 5
+
+
+class TestSSSP:
+    def test_weighted_path(self):
+        g = undirected(3, [(0, 1), (1, 2)], weights=[2.0, 3.0])
+        d = sssp_bellman_ford(g, 0)
+        assert d.tolist() == [0.0, 2.0, 5.0]
+
+    def test_shortcut_wins(self):
+        g = undirected(3, [(0, 1), (1, 2), (0, 2)], weights=[1.0, 1.0, 5.0])
+        d = sssp_bellman_ford(g, 0)
+        assert d[2] == 2.0
+
+    def test_unreachable_inf(self):
+        g = undirected(3, [(0, 1)], weights=[1.0])
+        assert np.isinf(sssp_bellman_ford(g, 0)[2])
+
+    def test_unweighted_raises(self):
+        g = undirected(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            sssp_bellman_ford(g, 0)
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_networkx_dijkstra(self, seed):
+        n, s, d, w = random_graph(30, 70, seed=seed)
+        g = undirected_edges_to_csr(n, s, d, w.astype(np.float64))
+        ours = sssp_bellman_ford(g, 0)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(n))
+        nxg.add_weighted_edges_from(zip(s.tolist(), d.tolist(), w.tolist()))
+        expected = nx.single_source_dijkstra_path_length(nxg, 0)
+        for v in range(n):
+            if v in expected:
+                assert ours[v] == pytest.approx(expected[v])
+            else:
+                assert np.isinf(ours[v])
+
+
+class TestComponents:
+    def test_two_islands(self):
+        g = undirected(5, [(0, 1), (2, 3)])
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert len({comp[0], comp[2], comp[4]}) == 3
+
+    def test_grid_is_one_component(self):
+        n, s, d, w = grid2d(8, seed=1)
+        g = undirected_edges_to_csr(n, s, d, w)
+        comp = connected_components(g)
+        assert np.unique(comp).size == 1
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_networkx(self, seed):
+        n, s, d, w = random_graph(40, 50, seed=seed)
+        g = undirected_edges_to_csr(n, s, d, w)
+        comp = connected_components(g)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(n))
+        nxg.add_edges_from(zip(s.tolist(), d.tolist()))
+        assert np.unique(comp).size == nx.number_connected_components(nxg)
+        for cset in nx.connected_components(nxg):
+            ids = {int(comp[v]) for v in cset}
+            assert len(ids) == 1

@@ -1,0 +1,340 @@
+"""Tests for the virtual GPU substrate: devices, atomics, memory,
+barriers, kernels, and the cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.counters import OpCounter
+from repro.vgpu import (ChunkAllocator, CostModel, DeviceAllocator, FENCE,
+                        HIERARCHICAL, LaunchConfig, NAIVE_ATOMIC, RecyclePool,
+                        TESLA_C2070, XEON_E7540, spmd_launch)
+from repro.vgpu.atomics import (atomic_add, atomic_cas_batch, atomic_max,
+                                atomic_min, fetch_add_serialized,
+                                scatter_write)
+
+
+class TestDeviceSpecs:
+    def test_c2070_geometry(self):
+        assert TESLA_C2070.total_cores == 448
+        assert TESLA_C2070.num_sms == 14
+        assert TESLA_C2070.warp_size == 32
+
+    def test_xeon(self):
+        assert XEON_E7540.cores == 48
+
+    def test_resident_threads_capped(self):
+        t = TESLA_C2070.resident_threads(256, 1000)
+        assert t == 14 * 8 * 256
+
+    def test_launch_config_validation(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(0, 32)
+        with pytest.raises(ValueError):
+            LaunchConfig(4, -1)
+
+    def test_thread_ranges_cover_items(self):
+        cfg = LaunchConfig(2, 4)
+        ranges = list(cfg.thread_ranges(21))
+        covered = []
+        for _, lo, hi in ranges:
+            covered.extend(range(lo, hi))
+        assert covered == list(range(21))
+
+    def test_for_input_scales_blocks(self):
+        small = LaunchConfig.for_input(TESLA_C2070, 1000)
+        large = LaunchConfig.for_input(TESLA_C2070, 10_000_000)
+        assert small.blocks < large.blocks
+        assert large.blocks <= 50 * TESLA_C2070.num_sms
+
+
+class TestAtomics:
+    def test_scatter_write_single_winner(self, rng):
+        dest = np.zeros(4, dtype=np.int64)
+        scatter_write(dest, np.array([1, 1, 1]), np.array([10, 20, 30]), rng)
+        assert dest[1] in (10, 20, 30)
+
+    def test_scatter_write_all_winners_seen(self):
+        winners = set()
+        for seed in range(60):
+            dest = np.zeros(2, dtype=np.int64)
+            scatter_write(dest, np.array([0, 0, 0]), np.array([1, 2, 3]),
+                          np.random.default_rng(seed))
+            winners.add(int(dest[0]))
+        assert winners == {1, 2, 3}
+
+    def test_atomic_add_exact(self):
+        dest = np.zeros(3, dtype=np.int64)
+        atomic_add(dest, np.array([0, 0, 2]), np.array([1, 2, 5]))
+        assert dest.tolist() == [3, 0, 5]
+
+    def test_atomic_min_max(self):
+        dest = np.full(2, 10, dtype=np.int64)
+        atomic_min(dest, np.array([0, 0]), np.array([7, 3]))
+        atomic_max(dest, np.array([1, 1]), np.array([12, 40]))
+        assert dest.tolist() == [3, 40]
+
+    def test_fetch_add_old_values_partition(self, rng):
+        tail = np.zeros(1, dtype=np.int64)
+        old = fetch_add_serialized(tail, np.zeros(10, dtype=np.int64),
+                                   np.ones(10, dtype=np.int64), rng)
+        assert sorted(old.tolist()) == list(range(10))
+        assert tail[0] == 10
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(1, 5)),
+                    min_size=1, max_size=30), st.integers(0, 99))
+    @settings(max_examples=50)
+    def test_fetch_add_final_state(self, ops, seed):
+        idx = np.asarray([i for i, _ in ops])
+        val = np.asarray([v for _, v in ops])
+        dest = np.zeros(4, dtype=np.int64)
+        old = fetch_add_serialized(dest, idx, val,
+                                   np.random.default_rng(seed))
+        np.testing.assert_array_equal(
+            dest, np.bincount(idx, weights=val, minlength=4).astype(np.int64))
+        # every op observed a value >= 0 and < final
+        for k in range(idx.size):
+            assert 0 <= old[k] < dest[idx[k]] + 1
+
+    def test_cas_single_success_per_slot(self, rng):
+        dest = np.full(1, -1, dtype=np.int64)
+        ok = atomic_cas_batch(dest, np.zeros(5, dtype=np.int64), -1, 7, rng)
+        assert ok.sum() == 1
+        assert dest[0] == 7
+
+    def test_cas_uncontended_fast_path(self, rng):
+        dest = np.array([-1, 5, -1], dtype=np.int64)
+        ok = atomic_cas_batch(dest, np.array([0, 1, 2]), -1, 9, rng)
+        assert ok.tolist() == [True, False, True]
+        assert dest.tolist() == [9, 5, 9]
+
+
+class TestMemory:
+    def test_device_allocator_accounting(self):
+        a = DeviceAllocator()
+        arr = a.malloc((10,), np.int64)
+        assert a.bytes_in_use == arr.nbytes
+        a.free(arr)
+        assert a.bytes_in_use == 0
+        assert a.high_water == arr.nbytes
+
+    def test_realloc_copies_and_grows(self):
+        a = DeviceAllocator()
+        arr = a.malloc((4,), np.int64, fill=3)
+        out = a.realloc(arr, 10, fill=0)
+        assert out.shape[0] == 10
+        assert out[:4].tolist() == [3, 3, 3, 3]
+        assert a.bytes_copied == arr.nbytes
+
+    def test_realloc_noop_when_smaller(self):
+        a = DeviceAllocator()
+        arr = a.malloc((4,), np.int64)
+        assert a.realloc(arr, 2) is arr
+
+    def test_chunk_allocator_insert_dedup(self):
+        ca = ChunkAllocator(chunk_size=4)
+        lst = ca.new_list()
+        assert ca.insert_many(lst, np.array([3, 1, 3, 2])) == 3
+        assert ca.insert_many(lst, np.array([2, 5])) == 1
+        assert sorted(lst.to_array().tolist()) == [1, 2, 3, 5]
+
+    def test_chunk_spill(self):
+        ca = ChunkAllocator(chunk_size=3)
+        lst = ca.new_list()
+        ca.insert_many(lst, np.arange(10))
+        assert len(lst) == 10
+        assert len(lst.chunks) >= 4 - 1
+        assert lst.contains(7)
+        assert not lst.contains(99)
+
+    def test_chunks_individually_sorted(self):
+        ca = ChunkAllocator(chunk_size=4)
+        lst = ca.new_list()
+        for vals in ([5, 1], [9, 0], [3, 7, 2]):
+            ca.insert_many(lst, np.asarray(vals))
+        for chunk, n in zip(lst.chunks, lst.counts):
+            assert np.all(np.diff(chunk[:n]) > 0)
+
+    def test_fragmentation(self):
+        ca = ChunkAllocator(chunk_size=8)
+        lst = ca.new_list()
+        ca.insert_many(lst, np.arange(3))
+        assert ca.internal_fragmentation == pytest.approx(5 / 8)
+
+    @given(st.lists(st.lists(st.integers(0, 50), max_size=10), max_size=12),
+           st.integers(2, 16))
+    @settings(max_examples=40)
+    def test_chunklist_set_semantics(self, batches, chunk_size):
+        ca = ChunkAllocator(chunk_size=chunk_size)
+        lst = ca.new_list()
+        ref: set = set()
+        for batch in batches:
+            added = ca.insert_many(lst, np.asarray(batch, dtype=np.int64))
+            new = set(batch) - ref
+            assert added == len(new)
+            ref |= new
+        assert sorted(lst.to_array().tolist()) == sorted(ref)
+
+    def test_recycle_pool_roundtrip(self):
+        p = RecyclePool()
+        p.release(np.array([4, 7]))
+        got = p.acquire(3)
+        assert set(got.tolist()) == {4, 7}
+        assert p.reused == 2
+
+    def test_recycle_pool_allocate_mixes_fresh(self):
+        p = RecyclePool()
+        p.release(np.array([2]))
+        slots, tail = p.allocate(3, tail_start=10)
+        assert tail == 12
+        assert set(slots.tolist()) == {2, 10, 11}
+
+
+class TestBarriers:
+    def test_ordering_of_costs(self):
+        c_naive = NAIVE_ATOMIC.cycles(TESLA_C2070, 112, 256)
+        c_hier = HIERARCHICAL.cycles(TESLA_C2070, 112, 256)
+        c_fence = FENCE.cycles(TESLA_C2070, 112, 256)
+        assert c_naive > c_hier > c_fence
+
+    def test_naive_scales_with_threads(self):
+        small = NAIVE_ATOMIC.cycles(TESLA_C2070, 10, 64)
+        large = NAIVE_ATOMIC.cycles(TESLA_C2070, 10, 1024)
+        assert large > small
+
+    def test_atomics_counts(self):
+        assert NAIVE_ATOMIC.atomics(4, 64) == 256
+        assert HIERARCHICAL.atomics(4, 64) == 4
+        assert FENCE.atomics(4, 64) == 0
+
+    def test_index_roundtrip(self):
+        assert FENCE.index == 0
+        assert HIERARCHICAL.index == 1
+        assert NAIVE_ATOMIC.index == 2
+
+
+class TestSpmdLaunch:
+    def test_plain_function(self, rng):
+        out = np.zeros(8, dtype=np.int64)
+
+        def body(tid, arr):
+            arr[tid] = tid * 2
+
+        phases = spmd_launch(8, body, out, rng=rng)
+        assert phases == 1
+        assert out.tolist() == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_generator_barriers(self, rng):
+        trace = []
+
+        def body(tid):
+            trace.append(("a", tid))
+            yield
+            trace.append(("b", tid))
+
+        phases = spmd_launch(3, body, rng=rng)
+        assert phases == 2
+        # all 'a' entries strictly before all 'b' entries
+        kinds = [k for k, _ in trace]
+        assert kinds.index("b") == 3
+
+    def test_uneven_thread_lengths(self, rng):
+        done = []
+
+        def body(tid):
+            for _ in range(tid):
+                yield
+            done.append(tid)
+
+        spmd_launch(4, body, rng=rng)
+        assert sorted(done) == [0, 1, 2, 3]
+
+    def test_counter_records_phases(self, rng):
+        c = OpCounter()
+
+        def body(tid):
+            yield
+            yield
+
+        spmd_launch(2, body, rng=rng, counter=c, name="k")
+        assert c.kernel("k").barriers == 2
+
+    def test_deadlock_guard(self, rng):
+        def forever(tid):
+            while True:
+                yield
+
+        with pytest.raises(RuntimeError):
+            spmd_launch(1, forever, rng=rng, max_phases=10)
+
+
+class TestCostModel:
+    def test_zero_counter_is_free_serial(self):
+        cm = CostModel()
+        assert cm.serial_time(OpCounter()) == 0.0
+
+    def test_gpu_charges_launches(self):
+        cm = CostModel()
+        c1, c2 = OpCounter(), OpCounter()
+        c1.launch("k")
+        c2.launch("k")
+        c2.launch("k")
+        assert cm.gpu_time(c2) > cm.gpu_time(c1)
+
+    def test_cpu_scales_with_threads(self):
+        cm = CostModel()
+        c = OpCounter()
+        c.launch("k", items=10_000_000,
+                 work_per_thread=np.full(10_000_000, 1))
+        assert cm.cpu_time(c, 48) < cm.cpu_time(c, 4)
+
+    def test_serial_cheaper_than_one_thread_with_scheduler(self):
+        cm = CostModel()
+        c = OpCounter()
+        c.launch("k", items=1000)
+        assert cm.serial_time(c) <= cm.cpu_time(c, 1)
+
+    def test_barrier_kind_scalar_honored(self):
+        cm = CostModel()
+        base = OpCounter()
+        base.launch("k", barriers=100)
+        fence = OpCounter()
+        fence.launch("k", barriers=100)
+        fence.scalars["barrier_kind"] = 0
+        naive = OpCounter()
+        naive.launch("k", barriers=100)
+        naive.scalars["barrier_kind"] = 2
+        assert cm.gpu_time(naive) > cm.gpu_time(fence)
+
+    def test_fp_scale_halves_compute(self):
+        cm = CostModel()
+        a, b = OpCounter(), OpCounter()
+        work = np.full(100_000, 100)
+        a.launch("k", work_per_thread=work)
+        b.launch("k", work_per_thread=work)
+        b.scalars["fp_scale"] = 0.5
+        assert cm.gpu_time(b) < cm.gpu_time(a)
+
+    def test_critical_path_binds(self):
+        cm = CostModel()
+        spread, serial = OpCounter(), OpCounter()
+        spread.launch("k", work_per_thread=np.full(10_000, 100))
+        w = np.zeros(10_000, dtype=np.int64)
+        w[0] = 1_000_000
+        serial.launch("k", work_per_thread=w)
+        assert cm.gpu_time(serial) > cm.gpu_time(spread)
+
+    def test_startup_floor_multicore(self):
+        cm = CostModel()
+        c = OpCounter()
+        c.launch("k", items=1)
+        assert cm.cpu_time(c, 48) >= XEON_E7540.startup_cycles / XEON_E7540.clock_hz
+        assert cm.cpu_time(c, 1) < 1e-3
+
+    def test_times_bundle(self):
+        cm = CostModel()
+        c = OpCounter()
+        c.launch("k", items=100)
+        t = cm.times(c, c, c)
+        assert t.gpu > 0 and t.cpu_parallel > 0 and t.serial > 0
+        assert t.gpu_speedup_vs_serial == pytest.approx(t.serial / t.gpu)

@@ -18,8 +18,6 @@ multicore stand-in, and the serial worklist analysis, and verify all
 three reach the identical fixed point before timing them.
 """
 
-import numpy as np
-import pytest
 from scipy.stats import gmean
 
 from harness import emit, table

@@ -24,8 +24,6 @@ scale it does not dominate), so our GPU does not *lose* to Galois 2.1.5
 on sparse graphs the way the paper's does.
 """
 
-import numpy as np
-import pytest
 
 from harness import SCALE, emit, fmt_time, table
 from paper_data import FIG11_MST, SCALE_NOTES

@@ -9,7 +9,6 @@ counted work at each thread count (lower counts conflict less, so the
 modeled curve is, if anything, pessimistic for small thread counts).
 """
 
-import pytest
 
 from harness import emit, fmt_time, table
 from paper_data import SCALE_NOTES

@@ -19,7 +19,6 @@ refinements of the 1/100-scale mesh would dominate the suite's wall
 time, and the optimization *ratios* are scale-stable.
 """
 
-import pytest
 
 from conftest import mesh_for
 from harness import emit, fmt_time, table

@@ -19,8 +19,6 @@ the same run twice: with cached per-edge work for the GPU and with
 degree-proportional re-traversal for the multicore baseline.
 """
 
-import numpy as np
-import pytest
 
 from harness import SCALE, emit, fmt_time, table
 from paper_data import FIG9_SP, SCALE_NOTES

@@ -11,8 +11,6 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-import numpy as np
-
 BENCH_DIR = Path(__file__).resolve().parent
 CACHE_DIR = BENCH_DIR / ".cache"
 RESULTS_DIR = BENCH_DIR / "results"

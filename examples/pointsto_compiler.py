@@ -11,7 +11,7 @@ Run:  python examples/pointsto_compiler.py
 
 import numpy as np
 
-from repro.pta import (Kind, andersen_pull, andersen_serial,
+from repro.pta import (andersen_pull, andersen_serial,
                        generate_spec_like)
 from repro.vgpu import CostModel
 

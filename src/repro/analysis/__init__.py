@@ -1,0 +1,54 @@
+"""``repro.analysis`` — the kernel sanitizer subsystem.
+
+Turns "races are simulated" into "races are detected, attributed, and
+reported", in the spirit of ``cuda-memcheck --tool racecheck`` and
+ThreadSanitizer, with three layers:
+
+* :class:`RaceDetector` (:mod:`.race`) — a dynamic race detector fed by
+  the instrumented :mod:`repro.vgpu` substrate: shadow read/write sets
+  per kernel scope and barrier phase, a marking-protocol audit that
+  catches the Section 7.3 two-phase bug (overlapping "exclusive"
+  winners), out-of-bounds / use-after-free checking against
+  :class:`repro.vgpu.memory.DeviceAllocator` extents, and a
+  barrier-divergence checker for SPMD generator kernels.
+* :mod:`.reports` — uniform :class:`Finding` records with
+  thread/kernel/phase attribution.
+* :mod:`.lint` — a static AST pass over kernel code
+  (``python -m repro.analysis.lint src/repro``) flagging plain fancy
+  stores inside launch blocks, host-side thread loops in vectorized
+  kernels, missing op accounting, and bare excepts.
+
+Every algorithm driver takes an opt-in ``sanitizer=`` keyword::
+
+    from repro.analysis import RaceDetector
+    from repro.dmr import refine_gpu
+
+    det = RaceDetector()
+    refine_gpu(mesh, sanitizer=det)
+    det.assert_clean()
+
+See ``docs/SANITIZER.md`` for the full usage guide.
+"""
+
+from .race import RaceDetector
+from .reports import (BARRIER_DIVERGENCE, DOUBLE_FREE, Finding,
+                      OUT_OF_BOUNDS, READ_WRITE, USE_AFTER_FREE,
+                      WRITE_WRITE, format_findings)
+
+__all__ = [
+    "RaceDetector", "Finding", "format_findings",
+    "WRITE_WRITE", "READ_WRITE", "OUT_OF_BOUNDS", "USE_AFTER_FREE",
+    "DOUBLE_FREE", "BARRIER_DIVERGENCE",
+    "LintFinding", "lint_source", "lint_paths",
+]
+
+_LINT_NAMES = {"LintFinding", "lint_source", "lint_paths"}
+
+
+def __getattr__(name):
+    # Lazy: keeps ``python -m repro.analysis.lint`` from double-importing
+    # the lint module through the package init.
+    if name in _LINT_NAMES:
+        from . import lint
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,66 @@
+"""Finding records produced by the :mod:`repro.analysis` sanitizer.
+
+Every detector layer — the dynamic race detector, the memory checker,
+and the barrier-divergence checker — reports through one uniform
+:class:`Finding` record so callers (tests, the ``--sanitize`` pytest
+guard, CI) can assert on, filter, and pretty-print findings the same
+way regardless of which layer produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = [
+    "Finding",
+    "WRITE_WRITE", "READ_WRITE", "OUT_OF_BOUNDS", "USE_AFTER_FREE",
+    "DOUBLE_FREE", "BARRIER_DIVERGENCE",
+    "format_findings",
+]
+
+#: two unsynchronized plain writes (or "exclusive" owners) on one address
+WRITE_WRITE = "write-write"
+#: a plain write racing an unsynchronized read of the same address
+READ_WRITE = "read-write"
+#: an access outside a device allocation's extent (incl. negative index)
+OUT_OF_BOUNDS = "out-of-bounds"
+#: an access to a freed device allocation (stale array after realloc)
+USE_AFTER_FREE = "use-after-free"
+#: ``cudaFree`` of an already-freed allocation
+DOUBLE_FREE = "double-free"
+#: threads of one SPMD kernel reached different barrier counts
+BARRIER_DIVERGENCE = "barrier-divergence"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer finding, with thread/kernel/phase attribution.
+
+    ``kernel`` is the innermost kernel scope active when the hazard was
+    observed (``"<global>"`` for accesses outside any kernel scope) and
+    ``phase`` the barrier-phase index within it.  ``threads`` lists the
+    simulated thread ids involved (capped; anonymous batch lanes get
+    synthetic ids).  ``address`` is the flat element index within the
+    array identified by ``array`` (a label or a shape/dtype signature).
+    """
+
+    kind: str
+    message: str
+    kernel: str = "<global>"
+    phase: int = 0
+    array: str = ""
+    address: int = -1
+    threads: tuple = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        where = f"{self.kernel}/phase{self.phase}"
+        loc = f" {self.array}[{self.address}]" if self.address >= 0 else \
+            (f" {self.array}" if self.array else "")
+        who = f" threads={list(self.threads)}" if self.threads else ""
+        return f"[{self.kind}] {where}:{loc}{who} — {self.message}"
+
+
+def format_findings(findings: Iterable[Finding]) -> str:
+    """Multi-line report, one finding per line (empty string if clean)."""
+    return "\n".join(str(f) for f in findings)

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..vgpu.atomics import scatter_write
+from ..vgpu.instrument import current_sanitizer
 from .counters import OpCounter
 from .ragged import Ragged
 
@@ -100,19 +101,29 @@ def three_phase_mark(
         marks[claims.values] = -1  # lazy reset of touched elements only
     rows = claims.row_ids()
     writes = 0
+    san = current_sanitizer()
+    if san is not None:
+        san.on_kernel_begin(name, threads=n_threads, scheme="3phase")
 
-    # Phase 1: race — unsynchronized stores, shuffled winner.
-    scatter_write(marks, claims.values, rows, rng)
+    # Phase 1: race — unsynchronized stores, shuffled winner.  The race
+    # is intentional (``intent="mark"``): the protocol's own check phase
+    # adjudicates it, and the sanitizer audits the outcome below.
+    scatter_write(marks, claims.values, rows, rng, tids=rows, intent="mark")
     writes += claims.total()
     # --- global barrier ---
+    if san is not None:
+        san.on_barrier()
 
     # Phase 2: prioritycheck — read all marks, then higher-priority
     # claimants overwrite lower-priority marks (again racy among equals).
     seen = _phase_read(marks, claims)
     upgrade = priorities[rows] > priorities[seen]
-    scatter_write(marks, claims.values[upgrade], rows[upgrade], rng)
+    scatter_write(marks, claims.values[upgrade], rows[upgrade], rng,
+                  tids=rows[upgrade], intent="mark")
     writes += int(upgrade.sum())
     # --- global barrier ---
+    if san is not None:
+        san.on_barrier()
 
     # Phase 3: check — read-only ownership verification.
     seen = _phase_read(marks, claims)
@@ -130,6 +141,9 @@ def three_phase_mark(
         marks[claims.row(chosen)] = chosen
         barriers += 1
 
+    if san is not None:
+        san.on_marking(name, claims, winners, scheme="3phase")
+        san.on_kernel_end(name)
     if counter is not None:
         counter.launch(
             name,
@@ -171,16 +185,27 @@ def two_phase_mark(
         priorities = np.asarray(priorities, dtype=np.int64)
     marks = np.full(num_elements, -1, dtype=np.int64)
     rows = claims.row_ids()
+    san = current_sanitizer()
+    if san is not None:
+        san.on_kernel_begin(name, threads=n_threads, scheme="2phase-unsafe")
 
-    scatter_write(marks, claims.values, rows, rng)
+    scatter_write(marks, claims.values, rows, rng, tids=rows, intent="mark")
+    if san is not None:
+        san.on_barrier()
     seen = _phase_read(marks, claims)
     # Thread keeps the element if it sees itself or something weaker.
     keeps = priorities[rows] >= priorities[seen]
     upgrade = priorities[rows] > priorities[seen]
-    scatter_write(marks, claims.values[upgrade], rows[upgrade], rng)
+    scatter_write(marks, claims.values[upgrade], rows[upgrade], rng,
+                  tids=rows[upgrade], intent="mark")
     lost = np.zeros(n_threads, dtype=bool)
     np.logical_or.at(lost, rows, ~keeps)
     winners = ~lost
+    if san is not None:
+        # The missing check phase is exactly what the sanitizer audits:
+        # overlapping "exclusive" winners surface as write-write races.
+        san.on_marking(name, claims, winners, scheme="2phase-unsafe")
+        san.on_kernel_end(name)
     if counter is not None:
         counter.launch(name, items=n_threads, aborted=int((~winners).sum()),
                        word_reads=claims.total(),

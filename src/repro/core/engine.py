@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..vgpu.instrument import current_sanitizer
 from .conflict import three_phase_mark
 from .counters import OpCounter
 from .ragged import Ragged
@@ -93,6 +94,12 @@ def run_morph_rounds(
         if not plans:
             return stats
         claims = Ragged.from_lists([list(p.claims) for p in plans])
+        # One kernel scope per round: the sanitizer attributes the
+        # marking audit and the winners' apply-phase stores to it, and
+        # the ownership granted by the marking covers the applies.
+        san = current_sanitizer()
+        if san is not None:
+            san.on_kernel_begin(kernel, round=stats.rounds)
         res = three_phase_mark(num_elements(), claims, rng,
                                priorities=rng.permutation(len(plans)),
                                ensure_progress=ensure_progress)
@@ -102,6 +109,8 @@ def run_morph_rounds(
                 wins += 1
             else:
                 stats.aborted += 1
+        if san is not None:
+            san.on_kernel_end(kernel)
         stats.applied += wins
         stats.aborted += res.num_aborted
         stats.parallelism.append(wins)

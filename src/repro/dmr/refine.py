@@ -33,17 +33,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.adaptive import AdaptiveConfig, FixedConfig
+from ..core.adaptive import AdaptiveConfig
 from ..core.conflict import three_phase_mark, two_phase_mark
 from ..core.counters import OpCounter
-from ..core.divergence import partition_active
 from ..core.layout import bfs_permutation
 from ..core.ragged import Ragged
 from ..meshing import geometry as geo
 from ..meshing.mesh import TriMesh
-from ..vgpu.device import LaunchConfig, TESLA_C2070
+from ..vgpu.instrument import current_sanitizer, maybe_activate
 from ..vgpu.memory import RecyclePool
-from ..vgpu.sync import BarrierModel, FENCE, HIERARCHICAL
+from ..vgpu.sync import BarrierModel, FENCE
 from .plan import RefinePlan, apply_plan
 
 __all__ = ["DMRConfig", "DMRResult", "refine_gpu", "reorder_mesh"]
@@ -326,7 +325,8 @@ def _expand_cavities(mesh: TriMesh, px, py, cur, tx, ty,
 # ------------------------------------------------------------------ #
 
 def refine_gpu(mesh: TriMesh, config: DMRConfig | None = None,
-               counter: OpCounter | None = None) -> DMRResult:
+               counter: OpCounter | None = None, *,
+               sanitizer=None) -> DMRResult:
     """Refine ``mesh`` with the simulated-GPU kernel; returns statistics.
 
     Structure follows the paper's Fig. 3: the host launches the
@@ -340,7 +340,17 @@ def refine_gpu(mesh: TriMesh, config: DMRConfig | None = None,
     The input mesh object is not mutated when ``config.layout_opt`` is
     set (a reordered copy is refined); the refined mesh is in
     ``result.mesh`` either way.
+
+    ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
+    for the duration of the refinement: every marking round is audited
+    and the device primitives report to its shadow memory.
     """
+    with maybe_activate(sanitizer):
+        return _refine_impl(mesh, config, counter)
+
+
+def _refine_impl(mesh: TriMesh, config: DMRConfig | None,
+                 counter: OpCounter | None) -> DMRResult:
     cfg = config or DMRConfig()
     rng = np.random.default_rng(cfg.seed)
     ctr = counter or OpCounter()
@@ -401,6 +411,11 @@ def refine_gpu(mesh: TriMesh, config: DMRConfig | None = None,
 
         kern_round_wins = 0
         kern_attempts = 0
+        san = current_sanitizer()
+        if san is not None:
+            # One sanitizer kernel scope per do-while iteration, matching
+            # the dispatch granularity the cost model charges.
+            san.on_kernel_begin("dmr.refine", round=outer)
         for wave in range(n_waves):
             attempt = bad_all[ranks == wave]
             # Items fixed/deleted by earlier waves of this kernel are
@@ -494,6 +509,8 @@ def refine_gpu(mesh: TriMesh, config: DMRConfig | None = None,
                 work_per_thread=work,
                 count_launch=(wave == 0),
             )
+        if san is not None:
+            san.on_kernel_end("dmr.refine")
         # One topology-driven scan per kernel launch finds the bad
         # triangles (reads every live flag once), and the host reads the
         # changed flag back after every launch (Fig. 3).

@@ -29,7 +29,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.counters import OpCounter
-from ..core.engine import MorphPlan, MorphStats, run_morph_rounds
+from ..core.engine import MorphPlan, run_morph_rounds
+from ..vgpu.instrument import maybe_activate
 from . import geometry as geo
 from .mesh import TriMesh
 
@@ -117,8 +118,19 @@ class FlipResult:
 
 
 def legalize_gpu(mesh: TriMesh, *, seed: int = 0,
-                 counter: OpCounter | None = None) -> FlipResult:
-    """Flip concurrently until the mesh is Delaunay (mutates in place)."""
+                 counter: OpCounter | None = None,
+                 sanitizer=None) -> FlipResult:
+    """Flip concurrently until the mesh is Delaunay (mutates in place).
+
+    ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
+    for the duration of the legalization rounds.
+    """
+    with maybe_activate(sanitizer):
+        return _legalize_impl(mesh, seed=seed, counter=counter)
+
+
+def _legalize_impl(mesh: TriMesh, *, seed: int,
+                   counter: OpCounter | None) -> FlipResult:
     rng = np.random.default_rng(seed)
     ctr = counter or OpCounter()
 

@@ -28,6 +28,7 @@ import numpy as np
 from ..core.conflict import three_phase_mark
 from ..core.counters import OpCounter
 from ..core.ragged import Ragged
+from ..vgpu.instrument import current_sanitizer, maybe_activate
 from ..vgpu.memory import RecyclePool
 from .cavity import delaunay_cavity, locate, retriangulate
 from .mesh import TriMesh
@@ -54,12 +55,25 @@ class InsertResult:
 def gpu_insert_points(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
                       seed: int = 0, max_points_per_round: int = 4096,
                       counter: OpCounter | None = None,
-                      max_rounds: int = 100_000) -> InsertResult:
+                      max_rounds: int = 100_000,
+                      sanitizer=None) -> InsertResult:
     """Insert all points into ``mesh`` (mutated in place) concurrently.
 
     Points outside the mesh are rejected with ``ValueError``; exact
     duplicates of existing vertices are skipped and counted.
+    ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
+    for the duration of the insertion rounds.
     """
+    with maybe_activate(sanitizer):
+        return _insert_impl(mesh, x, y, seed=seed,
+                            max_points_per_round=max_points_per_round,
+                            counter=counter, max_rounds=max_rounds)
+
+
+def _insert_impl(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
+                 seed: int, max_points_per_round: int,
+                 counter: OpCounter | None,
+                 max_rounds: int) -> InsertResult:
     rng = np.random.default_rng(seed)
     ctr = counter or OpCounter()
     pool = RecyclePool()
@@ -108,6 +122,11 @@ def gpu_insert_points(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
 
         ok = [p for p in plans if p is not None]
         claims = Ragged.from_lists([p[2] for p in ok])
+        # One kernel scope per round so the marking round's ownership
+        # grants cover the winners' retriangulation stores.
+        san = current_sanitizer()
+        if san is not None:
+            san.on_kernel_begin("insert.round", round=rounds)
         res = three_phase_mark(mesh.tri.shape[0], claims, rng,
                                priorities=rng.permutation(len(ok)),
                                ensure_progress=True)
@@ -137,6 +156,8 @@ def gpu_insert_points(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
             wins += 1
             writes += 12 * info.new_size
             start_hint = info.new_slots[0]
+        if san is not None:
+            san.on_kernel_end("insert.round")
         aborted += res.num_aborted
         parallelism.append(wins)
         ctr.launch("insert.round", items=len(ok), aborted=res.num_aborted,

@@ -10,7 +10,6 @@ Format reference: https://www.cs.cmu.edu/~quake/triangle.node.html
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
 
 import numpy as np

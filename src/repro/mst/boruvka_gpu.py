@@ -32,6 +32,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.counters import OpCounter
+from ..vgpu.atomics import atomic_min
+from ..vgpu.instrument import maybe_activate
 
 __all__ = ["MSTResult", "boruvka_gpu"]
 
@@ -49,8 +51,20 @@ class MSTResult:
 
 def boruvka_gpu(num_nodes: int, src: np.ndarray, dst: np.ndarray,
                 weight: np.ndarray, *, counter: OpCounter | None = None,
-                max_rounds: int = 128) -> MSTResult:
-    """Component-based Boruvka over a once-per-edge undirected list."""
+                max_rounds: int = 128, sanitizer=None) -> MSTResult:
+    """Component-based Boruvka over a once-per-edge undirected list.
+
+    ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
+    around the solve; the per-round atomic-min reductions report to it.
+    """
+    with maybe_activate(sanitizer):
+        return _boruvka_impl(num_nodes, src, dst, weight,
+                             counter=counter, max_rounds=max_rounds)
+
+
+def _boruvka_impl(num_nodes: int, src: np.ndarray, dst: np.ndarray,
+                  weight: np.ndarray, *, counter: OpCounter | None,
+                  max_rounds: int) -> MSTResult:
     ctr = counter or OpCounter()
     m = src.size
     if weight.size and int(weight.max()) >= (1 << 31):
@@ -74,7 +88,7 @@ def boruvka_gpu(num_nodes: int, src: np.ndarray, dst: np.ndarray,
             break
         # ---- kernel 1: per-node minimum inter-component edge -------- #
         node_min = np.full(num_nodes, _INF, dtype=np.int64)
-        np.minimum.at(node_min, es[valid], key[valid])
+        atomic_min(node_min, es[valid], key[valid])
         deg_work = np.bincount(es, minlength=num_nodes)  # full scan per node
         ctr.launch("mst.k1_nodemin", items=num_nodes,
                    word_reads=2 * es.size + num_nodes,
@@ -82,7 +96,7 @@ def boruvka_gpu(num_nodes: int, src: np.ndarray, dst: np.ndarray,
                    work_per_thread=deg_work)
         # ---- kernel 2: per-component minimum ------------------------ #
         comp_min = np.full(num_nodes, _INF, dtype=np.int64)
-        np.minimum.at(comp_min, comp, node_min)
+        atomic_min(comp_min, comp, node_min)
         # One thread per component walks its node list (the Section 6.5
         # component-to-nodes mapping).  In late rounds a few giant
         # components dominate: that thread's serial scan is the kernel's

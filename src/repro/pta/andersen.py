@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.counters import OpCounter
+from ..vgpu.instrument import maybe_activate
 from .bitset import BitMatrix
 from .constraints import Constraints, Kind
 from .graph import PullGraph
@@ -48,7 +49,8 @@ class PTAResult:
 def andersen_pull(cons: Constraints, *, chunk_size: int = 1024,
                   counter: OpCounter | None = None,
                   rep: np.ndarray | None = None,
-                  max_rounds: int = 10_000) -> PTAResult:
+                  max_rounds: int = 10_000,
+                  sanitizer=None) -> PTAResult:
     """Pull-based inclusion analysis; returns the fixed-point solution.
 
     ``rep`` (from :func:`repro.pta.cycles.collapse_cycles`) maps every
@@ -56,7 +58,21 @@ def andersen_pull(cons: Constraints, *, chunk_size: int = 1024,
     added edge endpoints are routed through it so points-to facts
     accumulate at representatives.  Query the result via
     :func:`repro.pta.cycles.expand_solution`.
+
+    ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
+    around the solve; the bit-matrix's atomic-or traffic and the chunk
+    allocator report to it.
     """
+    with maybe_activate(sanitizer):
+        return _andersen_pull_impl(cons, chunk_size=chunk_size,
+                                   counter=counter, rep=rep,
+                                   max_rounds=max_rounds)
+
+
+def _andersen_pull_impl(cons: Constraints, *, chunk_size: int,
+                        counter: OpCounter | None,
+                        rep: np.ndarray | None,
+                        max_rounds: int) -> PTAResult:
     n = cons.num_vars
     if rep is None:
         rep = np.arange(n, dtype=np.int64)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..vgpu.atomics import atomic_or
+
 __all__ = ["BitMatrix"]
 
 
@@ -28,7 +30,9 @@ class BitMatrix:
         members = np.asarray(members, dtype=np.int64)
         w = members >> 6
         b = np.uint64(1) << (members & 63).astype(np.uint64)
-        np.bitwise_or.at(self.bits, (set_ids, w), b)
+        # atomicOr, as on the device: duplicate (set, word) pairs are
+        # commutative and the sanitizer sees the access batch.
+        atomic_or(self.bits, (set_ids, w), b)
 
     def contains(self, set_id: int, member: int) -> bool:
         w, b = member >> 6, np.uint64(1) << np.uint64(member & 63)

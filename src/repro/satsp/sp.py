@@ -27,11 +27,12 @@ counting degree-proportional word traffic in uncached mode.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.counters import OpCounter
+from ..vgpu.instrument import maybe_activate
 from .factorgraph import FactorGraph, exclude_one, _ZERO
 from .formula import CNF
 from .walksat import walksat
@@ -134,11 +135,20 @@ def survey_iteration(fg: FactorGraph, *, counter: OpCounter | None = None,
 
 
 def run_sp(fg: FactorGraph, cfg: SPConfig,
-           counter: OpCounter | None = None) -> tuple[int, int, bool]:
+           counter: OpCounter | None = None, *,
+           sanitizer=None) -> tuple[int, int, bool]:
     """Run SP phases with decimation until trivial/small/contradiction.
 
     Returns ``(phases, total_iterations, contradiction)``.
+    ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
+    around the run so the device primitives report to it.
     """
+    with maybe_activate(sanitizer):
+        return _run_sp_impl(fg, cfg, counter)
+
+
+def _run_sp_impl(fg: FactorGraph, cfg: SPConfig,
+                 counter: OpCounter | None) -> tuple[int, int, bool]:
     rng = np.random.default_rng(cfg.seed)
     phases = iters = 0
     while phases < cfg.max_phases:
@@ -180,12 +190,14 @@ def run_sp(fg: FactorGraph, cfg: SPConfig,
 
 
 def solve_sp(cnf: CNF, cfg: SPConfig | None = None,
-             counter: OpCounter | None = None) -> SPResult:
+             counter: OpCounter | None = None, *,
+             sanitizer=None) -> SPResult:
     """Full pipeline: SP + decimation, then WalkSAT on the residual."""
     cfg = cfg or SPConfig()
     ctr = counter or OpCounter()
     fg = FactorGraph(cnf, seed=cfg.seed)
-    phases, iters, contradiction = run_sp(fg, cfg, ctr)
+    phases, iters, contradiction = run_sp(fg, cfg, ctr,
+                                          sanitizer=sanitizer)
     if contradiction:
         return SPResult("CONTRADICTION", None, ctr, phases, iters,
                         fixed_by_sp=int((fg.fixed >= 0).sum()),

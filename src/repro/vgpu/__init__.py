@@ -5,8 +5,9 @@ C2070: launch geometry and occupancy (:mod:`.device`), atomics with
 simulated race orders (:mod:`.atomics`), global-barrier cost models
 (:mod:`.sync`), device memory / chunk / recycle allocators
 (:mod:`.memory`), kernel launch bookkeeping and an SPMD generator-thread
-executor (:mod:`.kernel`), and the counts-to-seconds cost model
-(:mod:`.costmodel`).
+executor (:mod:`.kernel`), the counts-to-seconds cost model
+(:mod:`.costmodel`), and the sanitizer hook point every primitive
+reports through (:mod:`.instrument`, consumed by :mod:`repro.analysis`).
 """
 
 from .device import CpuSpec, GpuSpec, LaunchConfig, TESLA_C2070, XEON_E7540
@@ -14,11 +15,15 @@ from .sync import BarrierKind, BarrierModel, FENCE, HIERARCHICAL, NAIVE_ATOMIC
 from .memory import ChunkAllocator, ChunkList, DeviceAllocator, RecyclePool
 from .kernel import KernelLauncher, spmd_launch
 from .costmodel import CostModel, ModeledTimes
-from . import atomics
+from .instrument import (SanitizerHooks, activate, current_sanitizer,
+                         maybe_activate, record_read, record_write)
+from . import atomics, instrument
 
 __all__ = [
     "CpuSpec", "GpuSpec", "LaunchConfig", "TESLA_C2070", "XEON_E7540",
     "BarrierKind", "BarrierModel", "FENCE", "HIERARCHICAL", "NAIVE_ATOMIC",
     "ChunkAllocator", "ChunkList", "DeviceAllocator", "RecyclePool",
     "KernelLauncher", "spmd_launch", "CostModel", "ModeledTimes", "atomics",
+    "SanitizerHooks", "activate", "current_sanitizer", "maybe_activate",
+    "record_read", "record_write", "instrument",
 ]

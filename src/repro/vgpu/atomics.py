@@ -5,9 +5,10 @@ threads writing concurrently" becomes a batch of ``(index, value)`` pairs.
 Two memory semantics matter for morph algorithms:
 
 * **Atomic read-modify-write** (``atomicMin``/``atomicMax``/``atomicAdd``/
-  ``atomicCAS``): each operation is applied exactly once; the *final* memory
-  state is order-independent for commutative ops, and each simulated thread
-  can be handed the value it observed under a chosen serialization order.
+  ``atomicOr``/``atomicCAS``): each operation is applied exactly once; the
+  *final* memory state is order-independent for commutative ops, and each
+  simulated thread can be handed the value it observed under a chosen
+  serialization order.
 
 * **Plain (racy) stores**: when several threads store to the same address
   in the same phase without synchronization, hardware keeps *one* of the
@@ -18,53 +19,103 @@ Two memory semantics matter for morph algorithms:
   interleavings by reseeding.
 
 All functions operate in place on NumPy arrays (device global memory).
+
+Every function reports its access batch to the active sanitizer (see
+:mod:`repro.vgpu.instrument` and :mod:`repro.analysis`) *before* touching
+memory, so shadow recording observes exactly one consistent code path per
+primitive regardless of fast paths taken afterwards.  The optional
+``tids`` argument attributes each batch element to a simulated thread id;
+without it the sanitizer treats every element as a distinct anonymous
+thread (which is the right default for one-element-per-thread kernels).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .instrument import current_sanitizer
+
 __all__ = [
     "scatter_write",
     "atomic_add",
     "atomic_min",
     "atomic_max",
+    "atomic_or",
     "atomic_cas_batch",
     "fetch_add_serialized",
 ]
 
 
 def scatter_write(dest: np.ndarray, idx: np.ndarray, val: np.ndarray,
-                  rng: np.random.Generator | None = None) -> None:
+                  rng: np.random.Generator | None = None, *,
+                  tids: np.ndarray | None = None,
+                  intent: str = "store") -> None:
     """Racy concurrent stores: ``dest[idx] = val`` with unspecified winner.
 
     When ``idx`` contains duplicates, NumPy fancy assignment keeps the last
     occurrence — a fixed, unrealistic order.  Shuffling the pairs first
     makes the surviving writer uniformly random among the racers, which is
     the adversarial model the 3-phase scheme must tolerate.
+
+    ``intent="mark"`` tags the store as conflict-engine marking-protocol
+    traffic: the race there is *by design* and is adjudicated by the
+    protocol itself, so the race detector excludes it from generic phase
+    analysis and instead audits the protocol's outcome (see
+    :meth:`repro.vgpu.instrument.SanitizerHooks.on_marking`).
     """
     idx = np.asarray(idx)
     val = np.asarray(val)
+    san = current_sanitizer()
+    if san is not None:
+        # Recorded unconditionally, before any fast path below.
+        san.on_write(dest, idx, tids=tids, kind="plain", intent=intent)
     if rng is not None and idx.size > 1:
         perm = rng.permutation(idx.size)
         idx = idx[perm]
         val = val[perm] if val.ndim else val
+    elif rng is not None:
+        # Explicit fast path: a permutation of zero or one (index, value)
+        # pairs is the identity, so the shuffle is skipped on purpose and
+        # the generator stream is left untouched.  There is exactly one
+        # store below either way; only the shuffle is elided.
+        pass
     dest[idx] = val
 
 
 def atomic_add(dest: np.ndarray, idx: np.ndarray, val) -> None:
     """``atomicAdd`` without observed return values: exact final state."""
+    san = current_sanitizer()
+    if san is not None:
+        san.on_write(dest, idx, kind="atomic")
     np.add.at(dest, idx, val)
 
 
 def atomic_min(dest: np.ndarray, idx: np.ndarray, val) -> None:
     """``atomicMin``: exact final state (order-independent)."""
+    san = current_sanitizer()
+    if san is not None:
+        san.on_write(dest, idx, kind="atomic")
     np.minimum.at(dest, idx, val)
 
 
 def atomic_max(dest: np.ndarray, idx: np.ndarray, val) -> None:
     """``atomicMax``: exact final state (order-independent)."""
+    san = current_sanitizer()
+    if san is not None:
+        san.on_write(dest, idx, kind="atomic")
     np.maximum.at(dest, idx, val)
+
+
+def atomic_or(dest: np.ndarray, idx, val) -> None:
+    """``atomicOr``: exact final state (order-independent).
+
+    ``idx`` may be a tuple of index arrays for multi-dimensional
+    destinations (the bit-matrix case in :mod:`repro.pta.bitset`).
+    """
+    san = current_sanitizer()
+    if san is not None:
+        san.on_write(dest, idx, kind="atomic")
+    np.bitwise_or.at(dest, idx, val)
 
 
 def fetch_add_serialized(dest: np.ndarray, idx: np.ndarray, val: np.ndarray,
@@ -77,9 +128,17 @@ def fetch_add_serialized(dest: np.ndarray, idx: np.ndarray, val: np.ndarray,
     concurrent worklist appends: ``slot = atomicAdd(&tail, 1)``.
 
     Returns the per-operation old values, aligned with ``idx``/``val``.
+    Deterministic for a fixed ``rng`` state (same seed, same history ->
+    same observed values); an empty ``idx`` batch is a no-op returning an
+    empty array and consuming no randomness.
     """
     idx = np.asarray(idx)
     val = np.asarray(val)
+    san = current_sanitizer()
+    if san is not None:
+        san.on_write(dest, idx, kind="atomic")
+    if idx.size == 0:
+        return np.empty(0, dtype=dest.dtype)
     if val.ndim == 0:
         val = np.full(idx.shape, val)
     order = np.arange(idx.size)
@@ -112,9 +171,13 @@ def atomic_cas_batch(dest: np.ndarray, idx: np.ndarray, expected, new,
     For each operation ``k``: if ``dest[idx[k]] == expected[k]`` at the
     moment it executes, store ``new[k]`` and report success.  Same-address
     operations execute in a (optionally shuffled) serial order.  This is
-    the general-purpose lock/claim primitive.
+    the general-purpose lock/claim primitive.  An empty batch succeeds
+    vacuously (empty result, no stores, no randomness consumed).
     """
     idx = np.asarray(idx)
+    san = current_sanitizer()
+    if san is not None:
+        san.on_write(dest, idx, kind="atomic")
     expected = np.broadcast_to(np.asarray(expected), idx.shape)
     new = np.broadcast_to(np.asarray(new), idx.shape)
     order = np.arange(idx.size)

@@ -1,0 +1,144 @@
+"""Sanitizer hook registry for the virtual GPU.
+
+This module is the *hook point* between the simulated device and the
+:mod:`repro.analysis` sanitizer subsystem — and deliberately knows
+nothing about any concrete sanitizer.  The device primitives
+(:mod:`.atomics`, :mod:`.memory`, :mod:`.kernel`) and the conflict
+engine (:mod:`repro.core.conflict`) consult :func:`current_sanitizer`
+on every operation; when no sanitizer is active (the default) the check
+is a single ``None`` comparison, so production runs pay essentially
+nothing.
+
+A sanitizer is any object implementing the :class:`SanitizerHooks`
+interface (all methods are optional no-ops on the base class).  It is
+installed for a dynamic scope with :func:`activate`::
+
+    from repro.analysis import RaceDetector
+
+    det = RaceDetector()
+    with det.activate():          # wraps instrument.activate(det)
+        refine_gpu(mesh)
+    det.assert_clean()
+
+Kernels that perform raw vectorized gathers/stores outside the atomics
+API can annotate them with :func:`record_read` / :func:`record_write`
+so the race detector's shadow memory sees them too.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "SanitizerHooks", "current_sanitizer", "activate", "maybe_activate",
+    "record_read", "record_write",
+]
+
+
+class SanitizerHooks:
+    """No-op base interface for device sanitizers.
+
+    The hook vocabulary mirrors what a bulk-synchronous device exposes:
+
+    * kernel scopes (``on_kernel_begin`` / ``on_kernel_end``) group
+      accesses for attribution;
+    * ``on_barrier`` ends the current intra-kernel phase — accesses in
+      different phases are ordered and can never race;
+    * ``on_write`` / ``on_read`` record one batch of simulated-thread
+      accesses (``kind`` is ``"plain"`` or ``"atomic"``; ``intent`` is
+      ``"mark"`` for conflict-engine protocol traffic that is resolved
+      by :meth:`on_marking` rather than by phase analysis);
+    * ``on_alloc`` / ``on_free`` track :class:`~repro.vgpu.memory.\
+DeviceAllocator` extents for bounds / use-after-free checks;
+    * ``on_marking`` reports a completed marking protocol (claims plus
+      the winner mask) so exclusive ownership can be registered and
+      overlapping "exclusive" owners flagged;
+    * ``on_spmd_barriers`` reports per-thread barrier counts from
+      :func:`repro.vgpu.kernel.spmd_launch` for divergence checking.
+    """
+
+    def on_kernel_begin(self, name: str, **info) -> None:
+        pass
+
+    def on_kernel_end(self, name: str) -> None:
+        pass
+
+    def on_barrier(self) -> None:
+        pass
+
+    def on_write(self, arr: np.ndarray, idx, *, tids=None,
+                 kind: str = "plain", intent: str = "store") -> None:
+        pass
+
+    def on_read(self, arr: np.ndarray, idx, *, tids=None,
+                intent: str = "load") -> None:
+        pass
+
+    def on_alloc(self, arr: np.ndarray) -> None:
+        pass
+
+    def on_free(self, arr: np.ndarray) -> None:
+        pass
+
+    def on_marking(self, name: str, claims, winners: np.ndarray, *,
+                   scheme: str) -> None:
+        pass
+
+    def on_spmd_barriers(self, name: str, counts: np.ndarray) -> None:
+        pass
+
+
+_current: SanitizerHooks | None = None
+
+
+def current_sanitizer() -> SanitizerHooks | None:
+    """The innermost active sanitizer, or ``None``."""
+    return _current
+
+
+@contextmanager
+def activate(sanitizer: SanitizerHooks):
+    """Install ``sanitizer`` for the dynamic extent of the ``with`` block.
+
+    Activations nest; the innermost sanitizer receives the events (an
+    outer one is restored when the inner scope exits).
+    """
+    global _current
+    prev = _current
+    _current = sanitizer
+    try:
+        yield sanitizer
+    finally:
+        _current = prev
+
+
+@contextmanager
+def maybe_activate(sanitizer: SanitizerHooks | None):
+    """Like :func:`activate` but a no-op when ``sanitizer`` is ``None``.
+
+    This is the opt-in entry-point idiom: every algorithm driver takes a
+    ``sanitizer=None`` keyword and wraps its body in ``maybe_activate``.
+    """
+    if sanitizer is None:
+        yield None
+        return
+    with activate(sanitizer):
+        yield sanitizer
+
+
+def record_read(arr: np.ndarray, idx, *, tids=None,
+                intent: str = "load") -> None:
+    """Annotate a raw vectorized gather for the active sanitizer."""
+    san = _current
+    if san is not None:
+        san.on_read(arr, idx, tids=tids, intent=intent)
+
+
+def record_write(arr: np.ndarray, idx, *, tids=None, kind: str = "plain",
+                 intent: str = "store") -> None:
+    """Annotate a raw vectorized store for the active sanitizer."""
+    san = _current
+    if san is not None:
+        san.on_write(arr, idx, tids=tids, kind=kind, intent=intent)

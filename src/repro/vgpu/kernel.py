@@ -19,12 +19,13 @@ Two execution styles coexist, mirroring how the repository is built:
 from __future__ import annotations
 
 import inspect
-from typing import Callable, Iterable, Sequence
+from typing import Callable
 
 import numpy as np
 
 from ..core.counters import OpCounter
 from .device import GpuSpec, LaunchConfig, TESLA_C2070
+from .instrument import current_sanitizer
 
 __all__ = ["KernelLauncher", "spmd_launch"]
 
@@ -101,33 +102,58 @@ def spmd_launch(
 
     Returns the number of barrier phases executed.  Raises ``RuntimeError``
     if ``max_phases`` is exceeded (a deadlock guard for tests).
+
+    When a sanitizer is active (:mod:`repro.vgpu.instrument`), every
+    barrier is reported to it (so racy same-phase accesses are grouped
+    correctly) and the per-thread barrier counts are handed to its
+    barrier-divergence checker at kernel exit.  Threads reaching
+    different barrier counts are *legal* in this executor (the global
+    barrier simply stops waiting for finished threads) but correspond to
+    the classic ``__syncthreads`` divergence bug on real hardware, so
+    the checker reports them as findings rather than raising.
     """
     rng = rng or np.random.default_rng()
+    san = current_sanitizer()
     if not inspect.isgeneratorfunction(thread_fn):
+        if san is not None:
+            san.on_kernel_begin(name, threads=n_threads)
         order = rng.permutation(n_threads)
         for tid in order:
             thread_fn(int(tid), *args)
+        if san is not None:
+            san.on_kernel_end(name)
         if counter is not None:
             counter.launch(name, items=n_threads, barriers=0)
         return 1
 
+    if san is not None:
+        san.on_kernel_begin(name, threads=n_threads)
     gens = [thread_fn(tid, *args) for tid in range(n_threads)]
     live = list(range(n_threads))
+    barrier_counts = np.zeros(n_threads, dtype=np.int64)
     phases = 0
-    while live:
-        phases += 1
-        if phases > max_phases:
-            raise RuntimeError("spmd_launch exceeded max_phases (deadlock?)")
-        order = rng.permutation(len(live))
-        survivors = []
-        for k in order:
-            idx = live[k]
-            try:
-                next(gens[idx])
-                survivors.append(idx)
-            except StopIteration:
-                pass
-        live = survivors
+    try:
+        while live:
+            phases += 1
+            if phases > max_phases:
+                raise RuntimeError("spmd_launch exceeded max_phases (deadlock?)")
+            order = rng.permutation(len(live))
+            survivors = []
+            for k in order:
+                idx = live[k]
+                try:
+                    next(gens[idx])
+                    survivors.append(idx)
+                except StopIteration:
+                    pass
+            live = survivors
+            if live and san is not None:
+                san.on_barrier()
+            barrier_counts[survivors] += 1
+    finally:
+        if san is not None:
+            san.on_spmd_barriers(name, barrier_counts)
+            san.on_kernel_end(name)
     if counter is not None:
         counter.launch(name, items=n_threads, barriers=phases - 1)
     return phases

@@ -26,11 +26,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .instrument import current_sanitizer
+
 __all__ = ["DeviceAllocator", "ChunkList", "ChunkAllocator", "RecyclePool"]
 
 
 class DeviceAllocator:
-    """Host-driven device heap with realloc-by-copy accounting."""
+    """Host-driven device heap with realloc-by-copy accounting.
+
+    Allocations and frees are reported to the active sanitizer (if any),
+    which uses the extents for out-of-bounds checking and the free events
+    for use-after-free / double-free detection.
+    """
 
     def __init__(self) -> None:
         self.bytes_in_use = 0
@@ -47,12 +54,18 @@ class DeviceAllocator:
         self.mallocs += 1
         self.bytes_in_use += arr.nbytes
         self.high_water = max(self.high_water, self.bytes_in_use)
+        san = current_sanitizer()
+        if san is not None:
+            san.on_alloc(arr)
         return arr
 
     def free(self, arr: np.ndarray) -> None:
         """Release a device array (``cudaFree``)."""
         self.frees += 1
         self.bytes_in_use -= arr.nbytes
+        san = current_sanitizer()
+        if san is not None:
+            san.on_free(arr)
 
     def realloc(self, arr: np.ndarray, new_len: int, fill=None) -> np.ndarray:
         """Grow ``arr`` (axis 0) to ``new_len`` rows: malloc + copy + free.

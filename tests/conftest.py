@@ -1,4 +1,6 @@
-"""Shared fixtures: small cached inputs so the suite stays fast."""
+"""Shared fixtures: small cached inputs so the suite stays fast, plus
+the opt-in ``--sanitize`` mode that re-runs the conflict-engine and
+integration tests under the :mod:`repro.analysis` race detector."""
 
 from __future__ import annotations
 
@@ -6,6 +8,46 @@ import numpy as np
 import pytest
 
 from repro.meshing.generate import random_mesh
+
+#: modules whose tests exercise the instrumented device substrate
+#: end-to-end; under ``--sanitize`` each of their tests must produce
+#: zero sanitizer findings.
+_SANITIZED_MODULES = {"test_conflict", "test_engine", "test_dmr",
+                      "test_integration"}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="run conflict-engine/integration tests under the "
+             "repro.analysis race detector and fail on any finding")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "allow_races: test intentionally exercises racy kernels "
+        "(e.g. the 2-phase marking bug); skipped by the --sanitize "
+        "detector fixture")
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_guard(request):
+    """Under ``--sanitize``, shadow every device access the test makes
+    and fail it if the race detector reports anything."""
+    if not request.config.getoption("--sanitize"):
+        yield
+        return
+    module = request.module.__name__.rsplit(".", 1)[-1]
+    if module not in _SANITIZED_MODULES or \
+            request.node.get_closest_marker("allow_races") is not None:
+        yield
+        return
+    from repro.analysis import RaceDetector
+    det = RaceDetector()
+    with det.activate():
+        yield
+    det.assert_clean()
 
 
 @pytest.fixture(scope="session")

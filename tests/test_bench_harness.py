@@ -5,7 +5,6 @@ import sys
 from pathlib import Path
 
 import numpy as np
-import pytest
 
 BENCH = Path(__file__).resolve().parent.parent / "benchmarks"
 sys.path.insert(0, str(BENCH))

@@ -139,6 +139,7 @@ class TestThreePhaseProperties:
 
 
 class TestTwoPhaseBug:
+    @pytest.mark.allow_races
     def test_two_phase_overlap_happens(self):
         """The Section 7.3 race: both threads own a shared triangle."""
         claims = claims_of([[0, 1, 2], [2, 3]])

@@ -8,8 +8,8 @@ from hypothesis import given, settings, strategies as st
 from repro.core import (AdaptiveConfig, CentralWorklist, ExplicitDeletion,
                         FeedbackAdaptiveConfig, FixedConfig, HostOnly,
                         KernelHost, KernelOnly, LocalWorklists,
-                        MarkingDeletion, OpCounter, OutOfDeviceMemory,
-                        PreAllocation, Ragged, RecycleDeletion,
+                        MarkingDeletion, OutOfDeviceMemory,
+                        PreAllocation, RecycleDeletion,
                         bfs_permutation, divergence_gain, greedy_mis,
                         invert_permutation, layout_quality, partition_active,
                         profile_parallelism, swap_scan_permutation,

@@ -7,7 +7,6 @@ import pytest
 from repro.core.adaptive import FeedbackAdaptiveConfig
 from repro.dmr import (DMRConfig, apply_plan, plan_refinement, refine_galois,
                        refine_gpu, refine_sequential, reorder_mesh)
-from repro.meshing.generate import random_mesh
 from repro.vgpu.sync import NAIVE_ATOMIC
 
 
@@ -142,6 +141,7 @@ class TestGpuRefine:
         res.mesh.validate()
         assert res.counter.scalars["fp_scale"] == 0.5
 
+    @pytest.mark.allow_races
     def test_two_phase_unsafe_can_corrupt_or_survive(self, small_mesh):
         # The unsafe engine may produce overlapping winners; the kernel
         # detects the resulting geometric inconsistencies as aborts, so

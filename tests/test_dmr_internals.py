@@ -2,12 +2,10 @@
 planner, cavity expansion, wave assignment and work accounting."""
 
 import numpy as np
-import pytest
 
 from repro.dmr.plan import plan_refinement
 from repro.dmr.refine import (DMRConfig, _plan_batch, _locality_words,
                               _wave_work, reorder_mesh)
-from repro.meshing.generate import random_mesh
 
 
 class TestPlanBatch:

@@ -1,6 +1,5 @@
 """Tests for parallel Delaunay edge-flipping."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.counters import OpCounter
 from repro.core.csr import edges_to_csr
-from repro.core.engine import MorphPlan, MorphStats, run_morph_rounds
+from repro.core.engine import MorphPlan, run_morph_rounds
 
 
 class SpeculativeColoring:

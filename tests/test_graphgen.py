@@ -1,7 +1,6 @@
 """Tests for the synthetic graph generators and DIMACS I/O."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graphgen import (grid2d, random_graph, read_dimacs_graph, rmat,

@@ -2,12 +2,10 @@
 exercising the full pipelines the benchmarks run at scale."""
 
 import numpy as np
-import pytest
 
 from repro.core.counters import OpCounter
 from repro.dmr import DMRConfig, refine_galois, refine_gpu, refine_sequential
 from repro.graphgen import grid2d, rmat, road_network
-from repro.meshing.generate import random_mesh
 from repro.mst import boruvka_gpu, boruvka_merge, boruvka_unionfind, kruskal
 from repro.pta import andersen_pull, andersen_push, andersen_serial, \
     generate_spec_like

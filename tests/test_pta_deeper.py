@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.pta import (BitMatrix, Constraints, Kind, andersen_pull,
+from repro.pta import (BitMatrix, Constraints, andersen_pull,
                        andersen_push, andersen_serial, generate_constraints)
 
 

@@ -3,7 +3,6 @@ residual construction edge cases."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.core.counters import OpCounter
 from repro.satsp import (CNF, FactorGraph, HARD_RATIOS, SPConfig, dpll,

@@ -10,7 +10,7 @@ from repro.vgpu import (ChunkAllocator, CostModel, DeviceAllocator, FENCE,
                         HIERARCHICAL, LaunchConfig, NAIVE_ATOMIC, RecyclePool,
                         TESLA_C2070, XEON_E7540, spmd_launch)
 from repro.vgpu.atomics import (atomic_add, atomic_cas_batch, atomic_max,
-                                atomic_min, fetch_add_serialized,
+                                atomic_min, atomic_or, fetch_add_serialized,
                                 scatter_write)
 
 
@@ -107,6 +107,102 @@ class TestAtomics:
         ok = atomic_cas_batch(dest, np.array([0, 1, 2]), -1, 9, rng)
         assert ok.tolist() == [True, False, True]
         assert dest.tolist() == [9, 5, 9]
+
+    def test_atomic_or_bit_accumulate(self):
+        dest = np.zeros(2, dtype=np.uint64)
+        atomic_or(dest, np.array([0, 0, 1]),
+                  np.array([1, 4, 2], dtype=np.uint64))
+        assert dest.tolist() == [5, 2]
+
+    def test_scatter_write_single_element_fast_path(self, rng):
+        """Size-<=1 batches skip the shuffle but not the store: the rng
+        stream must be untouched either way (documented fast path)."""
+        probe = np.random.default_rng(99)
+        expected_next = np.random.default_rng(99).integers(0, 1 << 30)
+        dest = np.zeros(2, dtype=np.int64)
+        scatter_write(dest, np.array([1]), np.array([7]), probe)
+        scatter_write(dest, np.empty(0, dtype=np.int64),
+                      np.empty(0, dtype=np.int64), probe)
+        assert dest.tolist() == [0, 7]
+        assert probe.integers(0, 1 << 30) == expected_next
+
+
+class TestAtomicsEdgeCases:
+    """Property tests for the batch-atomic edge cases (empty batches,
+    all-duplicate contention, serialization determinism)."""
+
+    EMPTY = np.empty(0, dtype=np.int64)
+
+    def test_empty_batches_are_no_ops(self, rng):
+        dest = np.array([3, 4], dtype=np.int64)
+        scatter_write(dest, self.EMPTY, self.EMPTY, rng)
+        atomic_add(dest, self.EMPTY, self.EMPTY)
+        atomic_min(dest, self.EMPTY, self.EMPTY)
+        atomic_max(dest, self.EMPTY, self.EMPTY)
+        atomic_or(dest.astype(np.uint64), self.EMPTY,
+                  self.EMPTY.astype(np.uint64))
+        assert dest.tolist() == [3, 4]
+
+    def test_fetch_add_empty_batch(self, rng):
+        """Regression: ``csum[starts]`` used to IndexError on size 0."""
+        dest = np.array([5], dtype=np.int64)
+        old = fetch_add_serialized(dest, self.EMPTY, self.EMPTY, rng)
+        assert old.size == 0
+        assert dest[0] == 5
+
+    def test_cas_empty_batch(self, rng):
+        dest = np.array([-1], dtype=np.int64)
+        ok = atomic_cas_batch(dest, self.EMPTY, -1, 9, rng)
+        assert ok.size == 0
+        assert dest[0] == -1
+
+    @given(st.integers(1, 64), st.integers(0, 999))
+    @settings(max_examples=40)
+    def test_cas_all_duplicates_single_winner(self, n, seed):
+        """A fully contended CAS batch commits exactly one lane."""
+        dest = np.full(1, -1, dtype=np.int64)
+        ok = atomic_cas_batch(dest, np.zeros(n, dtype=np.int64), -1, 7,
+                              np.random.default_rng(seed))
+        assert int(ok.sum()) == 1
+        assert dest[0] == 7
+
+    @given(st.integers(0, 999))
+    @settings(max_examples=40)
+    def test_cas_all_duplicates_wrong_expected(self, seed):
+        dest = np.full(1, 5, dtype=np.int64)
+        ok = atomic_cas_batch(dest, np.zeros(8, dtype=np.int64), -1, 7,
+                              np.random.default_rng(seed))
+        assert not ok.any()
+        assert dest[0] == 5
+
+    @given(st.lists(st.integers(0, 3), min_size=0, max_size=40),
+           st.integers(0, 999))
+    @settings(max_examples=40)
+    def test_fetch_add_serialized_deterministic(self, idx, seed):
+        """Same seed, same batch => identical old-value assignment; and
+        the old values at each slot partition ``[0, count)``."""
+        idx = np.asarray(idx, dtype=np.int64)
+        ones = np.ones(idx.size, dtype=np.int64)
+        d1 = np.zeros(4, dtype=np.int64)
+        d2 = np.zeros(4, dtype=np.int64)
+        o1 = fetch_add_serialized(d1, idx, ones,
+                                  np.random.default_rng(seed))
+        o2 = fetch_add_serialized(d2, idx, ones,
+                                  np.random.default_rng(seed))
+        np.testing.assert_array_equal(o1, o2)
+        np.testing.assert_array_equal(d1, d2)
+        for slot in range(4):
+            got = sorted(o1[idx == slot].tolist())
+            assert got == list(range(len(got)))
+
+    @given(st.integers(2, 128), st.integers(0, 999))
+    @settings(max_examples=30)
+    def test_scatter_write_all_duplicates_one_winner(self, n, seed):
+        dest = np.zeros(1, dtype=np.int64)
+        vals = np.arange(1, n + 1)
+        scatter_write(dest, np.zeros(n, dtype=np.int64), vals,
+                      np.random.default_rng(seed))
+        assert int(dest[0]) in set(vals.tolist())
 
 
 class TestMemory:

@@ -20,7 +20,7 @@ three reach the identical fixed point before timing them.
 
 from scipy.stats import gmean
 
-from harness import emit, table
+from harness import emit, emit_bench, table
 from paper_data import FIG10_PTA, FIG10_GEOMEAN_SPEEDUP, SCALE_NOTES
 from repro.pta import (andersen_pull, andersen_push, andersen_serial,
                        generate_spec_like)
@@ -31,6 +31,7 @@ def test_fig10_pta(benchmark):
     cm = CostModel()
     rows = []
     speedups = []
+    bench_rows = []
     total_gpu_ms = 0.0
     for name, (nvars, ncons, p_serial, p_g48, p_gpu) in FIG10_PTA.items():
         cons = generate_spec_like(name, seed=0)
@@ -48,6 +49,9 @@ def test_fig10_pta(benchmark):
                      f"{p_serial}", f"{ser_ms:.1f}",
                      f"{p_g48}", f"{g48_ms:.1f}",
                      f"{p_gpu}", f"{gpu_ms:.2f}"))
+        bench_rows.append({"benchmark": name, "vars": nvars, "cons": ncons,
+                           "facts": gpu.total_facts(), "serial_ms": ser_ms,
+                           "galois48_ms": g48_ms, "gpu_ms": gpu_ms})
     geo = float(gmean(speedups))
     txt = "\n".join([
         SCALE_NOTES,
@@ -61,6 +65,7 @@ def test_fig10_pta(benchmark):
         f"ours: {total_gpu_ms:.1f} ms",
     ])
     emit("fig10_pta", txt)
+    emit_bench("fig10", bench_rows)
 
     # Shape: GPU beats the multicore on every input, by about an order
     # of magnitude in the geometric mean.

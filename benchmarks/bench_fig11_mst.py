@@ -25,7 +25,7 @@ on sparse graphs the way the paper's does.
 """
 
 
-from harness import SCALE, emit, fmt_time, table
+from harness import SCALE, emit, emit_bench, fmt_time, table
 from paper_data import FIG11_MST, SCALE_NOTES
 from repro.graphgen import grid2d, random_graph, rmat, road_network
 from repro.mst import boruvka_gpu, boruvka_merge, boruvka_unionfind
@@ -68,6 +68,9 @@ def test_fig11_mst(benchmark):
          "paper 2.1.5(s)", "ours 2.1.5",
          "paper GPU(s)", "ours GPU"], rows)
     emit("fig11_mst", txt)
+    emit_bench("fig11", [{"graph": name, "galois214_s": t_m,
+                          "galois215_s": t_u, "gpu_s": t_gpu}
+                         for name, (t_m, t_u, t_gpu) in ours.items()])
 
     # Shape assertions.
     # (1) 2.1.4's dense blowup: its RMAT handicap (time per edge vs the

@@ -10,8 +10,9 @@ modeled curve is, if anything, pessimistic for small thread counts).
 """
 
 
-from harness import emit, fmt_time, table
+from harness import RESULTS_DIR, emit, emit_bench, fmt_time, table
 from paper_data import SCALE_NOTES
+from repro.obs import Tracer, chrome_trace, validate_chrome_trace, write_chrome_trace
 from repro.vgpu import CostModel
 
 THREADS = [1, 2, 4, 8, 16, 32, 48]
@@ -20,6 +21,7 @@ THREADS = [1, 2, 4, 8, 16, 32, 48]
 def test_fig6_dmr_runtime(dmr_runs, benchmark):
     cm = CostModel()
     lines = [SCALE_NOTES]
+    bench_rows = []
     for paper_size, run in sorted(dmr_runs.items()):
         rows = []
         serial_t = cm.serial_time(run["serial"].counter)
@@ -33,13 +35,36 @@ def test_fig6_dmr_runtime(dmr_runs, benchmark):
                      f"(ours: {run['mesh_tris']} tris, {run['bad']} bad)")
         lines.append(table(["configuration", "modeled time"], rows))
         lines.append("")
+        bench_rows.append({
+            "input_mtris": paper_size,
+            "mesh_tris": run["mesh_tris"],
+            "bad": run["bad"],
+            "gpu_s": gpu_t,
+            "serial_s": serial_t,
+            "galois48_s": cm.cpu_time(run["galois"].counter, 48),
+        })
     emit("fig6_dmr_runtime", "\n".join(lines))
 
-    # Measured quantity for pytest-benchmark: one GPU kernel iteration
-    # on the smallest input (simulator throughput).
+    # Traced re-run of the smallest input: export a Chrome trace of the
+    # modeled launch timeline and validate it against the schema.
     from conftest import mesh_for
     from repro.dmr import refine_gpu, DMRConfig
     smallest = min(dmr_runs)
+    tracer = Tracer()
+    refine_gpu(mesh_for(smallest), tracer=tracer)
+    doc = chrome_trace(tracer)
+    validate_chrome_trace(doc)
+    phase_names = {e["name"] for e in doc["traceEvents"]
+                   if e.get("cat") == "conflict.phase"}
+    assert {"race", "prioritycheck", "check"} <= phase_names
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_chrome_trace(RESULTS_DIR / "fig6_dmr_trace.json", tracer)
+    bench_rows.append({"input_mtris": smallest, "traced": True,
+                       **tracer.metrics()})
+    emit_bench("fig6", bench_rows)
+
+    # Measured quantity for pytest-benchmark: one GPU kernel iteration
+    # on the smallest input (simulator throughput).
     mesh = mesh_for(smallest)
 
     benchmark.pedantic(

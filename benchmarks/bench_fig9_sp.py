@@ -20,7 +20,7 @@ degree-proportional re-traversal for the multicore baseline.
 """
 
 
-from harness import SCALE, emit, fmt_time, table
+from harness import SCALE, emit, emit_bench, fmt_time, table
 from paper_data import FIG9_SP, SCALE_NOTES
 from repro.core.counters import OpCounter
 from repro.satsp import FactorGraph, SPConfig, random_ksat
@@ -75,6 +75,9 @@ def test_fig9_sp(benchmark):
                  "paper galois48", "ours galois48",
                  "paper GPU", "ours GPU"], rows)
     emit("fig9_sp", SCALE_NOTES + "\n" + txt)
+    emit_bench("fig9", [{"paper_n": pn, "k": k,
+                         "galois48_s": cpu_t, "gpu_s": gpu_t}
+                        for (pn, k), (cpu_t, gpu_t) in checks.items()])
 
     # Shape assertions.
     # (1) GPU beats the uncached multicore on every input.

@@ -3,6 +3,10 @@
 * disk cache for expensive inputs (meshes) under ``benchmarks/.cache``,
 * a results sink: every figure benchmark writes its paper-vs-measured
   table to ``benchmarks/results/<name>.txt`` *and* prints it,
+* a machine-readable sink: :func:`emit_bench` appends each figure's
+  modeled numbers to a top-level ``BENCH_<figure>.json`` trajectory
+  file (schema in :mod:`repro.obs.export`), so successive runs of the
+  suite build a history that plotting/regression tooling can diff,
 * small table-formatting helpers.
 """
 
@@ -12,6 +16,7 @@ import os
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
+REPO_DIR = BENCH_DIR.parent
 CACHE_DIR = BENCH_DIR / ".cache"
 RESULTS_DIR = BENCH_DIR / "results"
 
@@ -42,6 +47,28 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n===== {name} =====\n{text}\n", flush=True)
+
+
+def emit_bench(figure: str, runs: list, *, append: bool | None = None) -> Path:
+    """Write (or extend) the top-level ``BENCH_<figure>.json`` file.
+
+    ``runs`` is a list of flat dicts (one per measured configuration);
+    each row is stamped with the ``REPRO_BENCH_SCALE`` it was measured
+    at so trajectories with mixed scales stay interpretable.
+    ``append`` defaults from the ``REPRO_BENCH_APPEND`` environment
+    knob: set it to keep a trajectory across suite runs instead of
+    overwriting.
+    """
+    from repro.obs import write_bench
+
+    if append is None:
+        append = os.environ.get("REPRO_BENCH_APPEND", "") not in ("", "0")
+    runs = [{"scale": SCALE, **r} for r in runs]
+    path = REPO_DIR / f"BENCH_{figure}.json"
+    write_bench(path, figure, runs, append=append)
+    print(f"[bench] wrote {path} ({len(runs)} runs, append={append})",
+          flush=True)
+    return path
 
 
 def fmt_time(seconds: float) -> str:

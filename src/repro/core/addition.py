@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..vgpu.instrument import trace_gauge
 from ..vgpu.memory import ChunkAllocator, DeviceAllocator
 
 __all__ = ["OutOfDeviceMemory", "GrowthStrategy", "PreAllocation", "HostOnly",
@@ -95,6 +96,9 @@ class HostOnly(GrowthStrategy):
         out = self.alloc.realloc(arr, target, fill=fill)
         self.stats.reallocs += 1
         self.stats.bytes_copied += self.alloc.bytes_copied - before
+        trace_gauge("alloc.bytes_in_use", self.alloc.bytes_in_use)
+        trace_gauge("alloc.high_water", self.alloc.high_water)
+        trace_gauge("alloc.reallocs", self.stats.reallocs)
         return out
 
 

@@ -16,8 +16,11 @@ The counter records, per named kernel:
   ``warp_size * max(work in warp)`` versus the useful work
   ``sum(work in warp)``.
 
-Counts are plain integers; the class is deliberately dependency-free so
-that substrates (meshing, graph generators) can use it too.
+Counts are plain integers; the class stays dependency-light so that
+substrates (meshing, graph generators) can use it too — its only
+coupling is a lazy hand-off of each launch to the
+:mod:`repro.vgpu.instrument` tracer registry (a ``None`` check when no
+tracer is active).
 """
 
 from __future__ import annotations
@@ -28,6 +31,19 @@ from typing import Dict, Iterable, Iterator, Mapping
 import numpy as np
 
 __all__ = ["KernelStats", "OpCounter", "warp_divergence"]
+
+# Lazy cached handle on repro.vgpu.instrument.  Imported at first use,
+# not at module level: vgpu.kernel imports this module, so an eager
+# import here would close a cycle during package init.
+_instrument = None
+
+
+def _hooks():
+    global _instrument
+    if _instrument is None:
+        from ..vgpu import instrument as _mod
+        _instrument = _mod
+    return _instrument
 
 
 def warp_divergence(work_per_thread: np.ndarray, warp_size: int = 32) -> tuple[int, int]:
@@ -159,9 +175,22 @@ class OpCounter:
                 ks.critical_lane_steps += int(np.max(work_per_thread))
         else:
             # Assume one unit of work per item with converged warps.
+            issued = useful = items
             ks.issued_lane_steps += items
             ks.useful_lane_steps += items
             ks.critical_lane_steps += 1 if items else 0
+        tracer = _hooks().current_tracer()
+        if tracer is not None:
+            critical = (int(np.max(work_per_thread))
+                        if work_per_thread is not None
+                        and np.asarray(work_per_thread).size
+                        else (1 if items else 0))
+            tracer.on_launch(
+                name, items=items, aborted=aborted,
+                word_reads=word_reads, word_writes=word_writes,
+                atomics=atomics, barriers=barriers,
+                launches=1 if count_launch else 0,
+                issued_lane_steps=issued, critical_lane_steps=critical)
         return ks
 
     def bump(self, name: str, value: float = 1.0) -> None:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..vgpu.instrument import trace_gauge
 from ..vgpu.memory import DeviceAllocator, RecyclePool
 
 __all__ = ["MarkingDeletion", "ExplicitDeletion", "RecycleDeletion"]
@@ -42,6 +43,7 @@ class MarkingDeletion:
         fresh = ~self.deleted[ids]
         self.deleted[ids] = True
         self.num_deleted += int(fresh.sum())
+        trace_gauge("delete.dead_fraction", self.dead_fraction())
 
     def is_deleted(self, ids=None) -> np.ndarray:
         return self.deleted if ids is None else self.deleted[ids]
@@ -108,6 +110,7 @@ class RecycleDeletion(MarkingDeletion):
         recycled = self.pool.acquire(n)
         self.deleted[recycled] = False
         self.num_deleted -= recycled.size
+        trace_gauge("delete.recycled_slots", int(recycled.size))
         fresh_needed = n - recycled.size
         fresh = np.arange(tail_start, tail_start + fresh_needed, dtype=np.int64)
         new_tail = tail_start + fresh_needed

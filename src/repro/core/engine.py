@@ -25,7 +25,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from ..vgpu.instrument import current_sanitizer
+from ..vgpu.instrument import current_sanitizer, trace_gauge, trace_span
 from .conflict import three_phase_mark
 from .counters import OpCounter
 from .ragged import Ragged
@@ -100,25 +100,28 @@ def run_morph_rounds(
         san = current_sanitizer()
         if san is not None:
             san.on_kernel_begin(kernel, round=stats.rounds)
-        res = three_phase_mark(num_elements(), claims, rng,
-                               priorities=rng.permutation(len(plans)),
-                               ensure_progress=ensure_progress)
-        wins = 0
-        for j in np.flatnonzero(res.winners):
-            if apply(plans[int(j)]):
-                wins += 1
-            else:
-                stats.aborted += 1
-        if san is not None:
-            san.on_kernel_end(kernel)
-        stats.applied += wins
-        stats.aborted += res.num_aborted
-        stats.parallelism.append(wins)
-        ctr.launch(kernel, items=len(plans),
-                   aborted=len(plans) - wins,
-                   barriers=res.barriers + 1,
-                   word_writes=res.mark_writes,
-                   work_per_thread=claims.lengths())
+        with trace_span(kernel, cat="iteration", round=stats.rounds):
+            trace_gauge("morph.active", len(plans))
+            res = three_phase_mark(num_elements(), claims, rng,
+                                   priorities=rng.permutation(len(plans)),
+                                   ensure_progress=ensure_progress)
+            wins = 0
+            for j in np.flatnonzero(res.winners):
+                if apply(plans[int(j)]):
+                    wins += 1
+                else:
+                    stats.aborted += 1
+            if san is not None:
+                san.on_kernel_end(kernel)
+            stats.applied += wins
+            stats.aborted += res.num_aborted
+            stats.parallelism.append(wins)
+            trace_gauge("morph.applied", wins)
+            ctr.launch(kernel, items=len(plans),
+                       aborted=len(plans) - wins,
+                       barriers=res.barriers + 1,
+                       word_writes=res.mark_writes,
+                       work_per_thread=claims.lengths())
         if wins == 0:
             stalled += 1
             if stalled >= 2:

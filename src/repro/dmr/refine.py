@@ -40,7 +40,9 @@ from ..core.layout import bfs_permutation
 from ..core.ragged import Ragged
 from ..meshing import geometry as geo
 from ..meshing.mesh import TriMesh
-from ..vgpu.instrument import current_sanitizer, maybe_activate
+from ..vgpu.instrument import (current_sanitizer, current_tracer,
+                               maybe_activate, maybe_activate_tracer,
+                               trace_span)
 from ..vgpu.memory import RecyclePool
 from ..vgpu.sync import BarrierModel, FENCE
 from .plan import RefinePlan, apply_plan
@@ -326,7 +328,7 @@ def _expand_cavities(mesh: TriMesh, px, py, cur, tx, ty,
 
 def refine_gpu(mesh: TriMesh, config: DMRConfig | None = None,
                counter: OpCounter | None = None, *,
-               sanitizer=None) -> DMRResult:
+               sanitizer=None, tracer=None) -> DMRResult:
     """Refine ``mesh`` with the simulated-GPU kernel; returns statistics.
 
     Structure follows the paper's Fig. 3: the host launches the
@@ -344,9 +346,16 @@ def refine_gpu(mesh: TriMesh, config: DMRConfig | None = None,
     ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
     for the duration of the refinement: every marking round is audited
     and the device primitives report to its shadow memory.
+
+    ``tracer`` (opt-in) activates a :mod:`repro.obs` tracer: the run is
+    recorded as a span hierarchy (driver -> iteration -> conflict
+    phases) with cost-model durations and gauges, without perturbing
+    the refinement (no RNG draws, no state changes).
     """
     with maybe_activate(sanitizer):
-        return _refine_impl(mesh, config, counter)
+        with maybe_activate_tracer(tracer):
+            with trace_span("dmr.refine_gpu", cat="driver"):
+                return _refine_impl(mesh, config, counter)
 
 
 def _refine_impl(mesh: TriMesh, config: DMRConfig | None,
@@ -382,6 +391,13 @@ def _refine_impl(mesh: TriMesh, config: DMRConfig | None,
         outer += 1
         ctr.scalars["cfg_blocks"] = launch.blocks
         ctr.scalars["cfg_tpb"] = launch.threads_per_block
+        tr = current_tracer()
+        if tr is not None:
+            # Explicit begin/end (not a with-block): the span covers the
+            # whole do-while iteration below.
+            tr.on_span_begin("dmr.iteration", cat="iteration", round=outer)
+            tr.on_geometry(launch.blocks, launch.threads_per_block)
+            tr.on_gauge("dmr.bad_pending", int(bad_all.size))
         live_count = int((~mesh.isdel[: mesh.n_tris]).sum())
         threads_eff = min(launch.total_threads,
                           max(1, live_count // cfg.min_chunk))
@@ -519,6 +535,10 @@ def _refine_impl(mesh: TriMesh, config: DMRConfig | None,
         ctr.bump("d2h_words", 1)
         ctr.bump("xfer_calls", 1)
         prev_abort_ratio = 1.0 - kern_round_wins / max(1, kern_attempts)
+        if tr is not None:
+            tr.on_gauge("dmr.recycle_free", len(pool))
+            tr.on_gauge("dmr.abort_ratio", prev_abort_ratio)
+            tr.on_span_end()
     else:
         guards = True
 

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..core.counters import OpCounter
 from ..core.engine import MorphPlan, run_morph_rounds
-from ..vgpu.instrument import maybe_activate
+from ..vgpu.instrument import maybe_activate, maybe_activate_tracer, trace_span
 from . import geometry as geo
 from .mesh import TriMesh
 
@@ -119,14 +119,18 @@ class FlipResult:
 
 def legalize_gpu(mesh: TriMesh, *, seed: int = 0,
                  counter: OpCounter | None = None,
-                 sanitizer=None) -> FlipResult:
+                 sanitizer=None, tracer=None) -> FlipResult:
     """Flip concurrently until the mesh is Delaunay (mutates in place).
 
     ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
-    for the duration of the legalization rounds.
+    for the duration of the legalization rounds.  ``tracer`` (opt-in)
+    activates a :mod:`repro.obs` tracer; the morph engine supplies the
+    per-round spans.
     """
     with maybe_activate(sanitizer):
-        return _legalize_impl(mesh, seed=seed, counter=counter)
+        with maybe_activate_tracer(tracer):
+            with trace_span("meshing.legalize_gpu", cat="driver"):
+                return _legalize_impl(mesh, seed=seed, counter=counter)
 
 
 def _legalize_impl(mesh: TriMesh, *, seed: int,

@@ -28,7 +28,9 @@ import numpy as np
 from ..core.conflict import three_phase_mark
 from ..core.counters import OpCounter
 from ..core.ragged import Ragged
-from ..vgpu.instrument import current_sanitizer, maybe_activate
+from ..vgpu.instrument import (current_sanitizer, current_tracer,
+                               maybe_activate, maybe_activate_tracer,
+                               trace_span)
 from ..vgpu.memory import RecyclePool
 from .cavity import delaunay_cavity, locate, retriangulate
 from .mesh import TriMesh
@@ -56,18 +58,22 @@ def gpu_insert_points(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
                       seed: int = 0, max_points_per_round: int = 4096,
                       counter: OpCounter | None = None,
                       max_rounds: int = 100_000,
-                      sanitizer=None) -> InsertResult:
+                      sanitizer=None, tracer=None) -> InsertResult:
     """Insert all points into ``mesh`` (mutated in place) concurrently.
 
     Points outside the mesh are rejected with ``ValueError``; exact
     duplicates of existing vertices are skipped and counted.
     ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
-    for the duration of the insertion rounds.
+    for the duration of the insertion rounds; ``tracer`` (opt-in)
+    records the rounds as a :mod:`repro.obs` span hierarchy.
     """
     with maybe_activate(sanitizer):
-        return _insert_impl(mesh, x, y, seed=seed,
-                            max_points_per_round=max_points_per_round,
-                            counter=counter, max_rounds=max_rounds)
+        with maybe_activate_tracer(tracer):
+            with trace_span("meshing.gpu_insert_points", cat="driver"):
+                return _insert_impl(
+                    mesh, x, y, seed=seed,
+                    max_points_per_round=max_points_per_round,
+                    counter=counter, max_rounds=max_rounds)
 
 
 def _insert_impl(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
@@ -86,6 +92,11 @@ def _insert_impl(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
 
     while pending and rounds < max_rounds:
         rounds += 1
+        tr = current_tracer()
+        if tr is not None:
+            tr.on_span_begin("insert.iteration", cat="iteration",
+                             round=rounds)
+            tr.on_gauge("insert.pending", len(pending))
         # Batch size tracks the mesh: a cavity-plus-ring claim spans
         # ~14 triangles, so attempting more than ~1 insertion per 32
         # live triangles saturates the claimable area and manufactures
@@ -165,6 +176,9 @@ def _insert_impl(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
                    barriers=res.barriers + 1,
                    work_per_thread=np.asarray(work, dtype=np.int64)
                    if work else None)
+        if tr is not None:
+            tr.on_gauge("insert.applied", wins)
+            tr.on_span_end()
     if pending:
         raise RuntimeError("insertion did not finish within max_rounds")
     return InsertResult(mesh=mesh, counter=ctr, rounds=rounds,

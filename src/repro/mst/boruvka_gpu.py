@@ -33,7 +33,8 @@ import numpy as np
 
 from ..core.counters import OpCounter
 from ..vgpu.atomics import atomic_min
-from ..vgpu.instrument import maybe_activate
+from ..vgpu.instrument import (current_tracer, maybe_activate,
+                               maybe_activate_tracer, trace_span)
 
 __all__ = ["MSTResult", "boruvka_gpu"]
 
@@ -51,15 +52,20 @@ class MSTResult:
 
 def boruvka_gpu(num_nodes: int, src: np.ndarray, dst: np.ndarray,
                 weight: np.ndarray, *, counter: OpCounter | None = None,
-                max_rounds: int = 128, sanitizer=None) -> MSTResult:
+                max_rounds: int = 128, sanitizer=None,
+                tracer=None) -> MSTResult:
     """Component-based Boruvka over a once-per-edge undirected list.
 
     ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
     around the solve; the per-round atomic-min reductions report to it.
+    ``tracer`` (opt-in) records the rounds and four kernels as a
+    :mod:`repro.obs` span hierarchy.
     """
     with maybe_activate(sanitizer):
-        return _boruvka_impl(num_nodes, src, dst, weight,
-                             counter=counter, max_rounds=max_rounds)
+        with maybe_activate_tracer(tracer):
+            with trace_span("mst.boruvka_gpu", cat="driver"):
+                return _boruvka_impl(num_nodes, src, dst, weight,
+                                     counter=counter, max_rounds=max_rounds)
 
 
 def _boruvka_impl(num_nodes: int, src: np.ndarray, dst: np.ndarray,
@@ -80,11 +86,18 @@ def _boruvka_impl(num_nodes: int, src: np.ndarray, dst: np.ndarray,
     rounds = 0
     while rounds < max_rounds:
         rounds += 1
+        tr = current_tracer()
+        if tr is not None:
+            tr.on_span_begin("mst.iteration", cat="iteration", round=rounds)
         cs = comp[es]
         cd = comp[ed]
         valid = cs != cd
         n_valid = int(valid.sum())
+        if tr is not None:
+            tr.on_gauge("mst.valid_edges", n_valid)
         if n_valid == 0:
+            if tr is not None:
+                tr.on_span_end()
             break
         # ---- kernel 1: per-node minimum inter-component edge -------- #
         node_min = np.full(num_nodes, _INF, dtype=np.int64)
@@ -140,6 +153,9 @@ def _boruvka_impl(num_nodes: int, src: np.ndarray, dst: np.ndarray,
                    word_reads=(jump_rounds + 1) * num_nodes,
                    word_writes=2 * num_nodes, atomics=num_nodes,
                    barriers=1 + jump_rounds)
+        if tr is not None:
+            tr.on_gauge("mst.components", int(np.unique(comp).size))
+            tr.on_span_end()
     mst = np.unique(np.concatenate(chosen)) if chosen else \
         np.empty(0, dtype=np.int64)
     total = int(weight[mst].sum())

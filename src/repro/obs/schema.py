@@ -1,0 +1,101 @@
+"""Structural validation for exported Chrome trace_event JSON.
+
+The CI trace-smoke step and ``tests/test_obs.py`` run every exported
+trace through :func:`validate_chrome_trace` before trusting it; a trace
+that fails here would render wrong (or not at all) in
+``chrome://tracing`` / Perfetto.
+
+Checks:
+
+* top-level shape: ``traceEvents`` is a list of dicts;
+* per-event required keys and types by phase (``ph``): complete events
+  ("X") need numeric non-negative ``ts``/``dur``; counters ("C") need a
+  numeric ``args`` payload; metadata ("M") needs a ``name``;
+* "X" events on one pid/tid nest properly: sorted by start (ties broken
+  longest-first), every event fits inside the enclosing open event, with
+  a small epsilon for float accumulation.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+__all__ = ["TraceSchemaError", "validate_chrome_trace"]
+
+#: Slack (virtual µs) allowed for float round-off when checking nesting.
+_EPS = 1e-6
+
+_KNOWN_PHASES = {"X", "C", "M", "B", "E", "i"}
+
+
+class TraceSchemaError(ValueError):
+    """An exported trace violates the trace_event structural rules."""
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise TraceSchemaError(msg)
+
+
+def _is_num(x) -> bool:
+    return isinstance(x, numbers.Real) and not isinstance(x, bool)
+
+
+def validate_chrome_trace(doc: dict) -> int:
+    """Validate a Chrome-trace JSON object; returns the event count.
+
+    Raises :class:`TraceSchemaError` (a ``ValueError``) on the first
+    violation found.
+    """
+    _require(isinstance(doc, dict), "trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    _require(isinstance(events, list), "traceEvents must be a list")
+
+    complete: dict[tuple, list[tuple[float, float, str]]] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        _require(isinstance(ev, dict), f"{where}: event must be an object")
+        ph = ev.get("ph")
+        _require(ph in _KNOWN_PHASES,
+                 f"{where}: unknown or missing phase {ph!r}")
+        _require(isinstance(ev.get("name"), str) and ev["name"],
+                 f"{where}: missing event name")
+        _require("pid" in ev and "tid" in ev,
+                 f"{where}: missing pid/tid")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        _require(_is_num(ts) and ts >= 0,
+                 f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            _require(_is_num(dur) and dur >= 0,
+                     f"{where}: dur must be a non-negative number")
+            args = ev.get("args", {})
+            _require(isinstance(args, dict), f"{where}: args must be a dict")
+            complete.setdefault((ev["pid"], ev["tid"]), []).append(
+                (float(ts), float(dur), ev["name"]))
+        elif ph == "C":
+            args = ev.get("args")
+            _require(isinstance(args, dict) and args,
+                     f"{where}: counter event needs a non-empty args dict")
+            for key, val in args.items():
+                _require(_is_num(val),
+                         f"{where}: counter series {key!r} must be numeric")
+
+    # Nesting: within one thread lane, complete events must form a
+    # properly bracketed hierarchy (this is what makes the flame view
+    # readable rather than overlapping garbage).
+    for lane, evs in complete.items():
+        evs.sort(key=lambda e: (e[0], -e[1]))
+        stack: list[tuple[float, float, str]] = []
+        for ts, dur, name in evs:
+            while stack and ts >= stack[-1][0] + stack[-1][1] - _EPS:
+                stack.pop()
+            if stack:
+                p_ts, p_dur, p_name = stack[-1]
+                _require(ts + dur <= p_ts + p_dur + _EPS,
+                         f"event {name!r} at ts={ts} overflows enclosing "
+                         f"span {p_name!r} on lane {lane}")
+            stack.append((ts, dur, name))
+    return len(events)

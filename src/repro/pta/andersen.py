@@ -23,7 +23,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.counters import OpCounter
-from ..vgpu.instrument import maybe_activate
+from ..vgpu.instrument import (current_tracer, maybe_activate,
+                               maybe_activate_tracer, trace_span)
 from .bitset import BitMatrix
 from .constraints import Constraints, Kind
 from .graph import PullGraph
@@ -50,7 +51,7 @@ def andersen_pull(cons: Constraints, *, chunk_size: int = 1024,
                   counter: OpCounter | None = None,
                   rep: np.ndarray | None = None,
                   max_rounds: int = 10_000,
-                  sanitizer=None) -> PTAResult:
+                  sanitizer=None, tracer=None) -> PTAResult:
     """Pull-based inclusion analysis; returns the fixed-point solution.
 
     ``rep`` (from :func:`repro.pta.cycles.collapse_cycles`) maps every
@@ -61,12 +62,15 @@ def andersen_pull(cons: Constraints, *, chunk_size: int = 1024,
 
     ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
     around the solve; the bit-matrix's atomic-or traffic and the chunk
-    allocator report to it.
+    allocator report to it.  ``tracer`` (opt-in) records the
+    addedge/propagate rounds as a :mod:`repro.obs` span hierarchy.
     """
     with maybe_activate(sanitizer):
-        return _andersen_pull_impl(cons, chunk_size=chunk_size,
-                                   counter=counter, rep=rep,
-                                   max_rounds=max_rounds)
+        with maybe_activate_tracer(tracer):
+            with trace_span("pta.andersen_pull", cat="driver"):
+                return _andersen_pull_impl(cons, chunk_size=chunk_size,
+                                           counter=counter, rep=rep,
+                                           max_rounds=max_rounds)
 
 
 def _andersen_pull_impl(cons: Constraints, *, chunk_size: int,
@@ -100,6 +104,10 @@ def _andersen_pull_impl(cons: Constraints, *, chunk_size: int,
     rounds = sweeps = 0
     while rounds < max_rounds:
         rounds += 1
+        tr = current_tracer()
+        if tr is not None:
+            tr.on_span_begin("pta.iteration", cat="iteration", round=rounds)
+            tr.on_gauge("pta.enabled", int(changed.sum()))
         # ---- Phase 1: evaluate load/store constraints, add edges ---- #
         new_src: list[np.ndarray] = []
         new_dst: list[np.ndarray] = []
@@ -168,6 +176,10 @@ def _andersen_pull_impl(cons: Constraints, *, chunk_size: int,
         ctr.launch("pta.propagate", items=len(pull_nodes), word_reads=reads,
                    word_writes=writes, barriers=1, work_per_thread=work)
         changed = new_changed
+        if tr is not None:
+            tr.on_gauge("pta.changed", int(changed.sum()))
+            tr.on_gauge("pta.chunks", graph.alloc.chunks_allocated)
+            tr.on_span_end()
         if not changed.any() and added == 0:
             break
     return PTAResult(pts=pts, counter=ctr, rounds=rounds,

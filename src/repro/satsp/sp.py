@@ -32,7 +32,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.counters import OpCounter
-from ..vgpu.instrument import maybe_activate
+from ..vgpu.instrument import (current_tracer, maybe_activate,
+                               maybe_activate_tracer, trace_span)
 from .factorgraph import FactorGraph, exclude_one, _ZERO
 from .formula import CNF
 from .walksat import walksat
@@ -136,15 +137,18 @@ def survey_iteration(fg: FactorGraph, *, counter: OpCounter | None = None,
 
 def run_sp(fg: FactorGraph, cfg: SPConfig,
            counter: OpCounter | None = None, *,
-           sanitizer=None) -> tuple[int, int, bool]:
+           sanitizer=None, tracer=None) -> tuple[int, int, bool]:
     """Run SP phases with decimation until trivial/small/contradiction.
 
     Returns ``(phases, total_iterations, contradiction)``.
     ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
-    around the run so the device primitives report to it.
+    around the run so the device primitives report to it; ``tracer``
+    (opt-in) records SP phases as a :mod:`repro.obs` span hierarchy.
     """
     with maybe_activate(sanitizer):
-        return _run_sp_impl(fg, cfg, counter)
+        with maybe_activate_tracer(tracer):
+            with trace_span("satsp.run_sp", cat="driver"):
+                return _run_sp_impl(fg, cfg, counter)
 
 
 def _run_sp_impl(fg: FactorGraph, cfg: SPConfig,
@@ -157,6 +161,11 @@ def _run_sp_impl(fg: FactorGraph, cfg: SPConfig,
         if fg.num_live_clauses < cfg.handoff_ratio * fg.num_unfixed:
             break  # residual formula left the hard phase
         phases += 1
+        tr = current_tracer()
+        if tr is not None:
+            tr.on_span_begin("sp.phase", cat="iteration", phase=phases)
+            tr.on_gauge("sp.unfixed", fg.num_unfixed)
+            tr.on_gauge("sp.live_clauses", fg.num_live_clauses)
         for _ in range(cfg.max_iters):
             iters += 1
             delta = survey_iteration(fg, counter=counter, cached=cfg.cached,
@@ -164,6 +173,8 @@ def _run_sp_impl(fg: FactorGraph, cfg: SPConfig,
             if delta < cfg.eps:
                 break
         if delta >= cfg.eps and cfg.require_convergence:
+            if tr is not None:
+                tr.on_span_end()
             break  # unconverged surveys: decimating on them is noise
         bias = fg.biases()
         if counter is not None:
@@ -176,6 +187,8 @@ def _run_sp_impl(fg: FactorGraph, cfg: SPConfig,
             float(live_eta.max()) < cfg.trivial_threshold
         if trivial_surveys or not np.any(np.abs(bias[unfixed])
                                          > cfg.trivial_threshold):
+            if tr is not None:
+                tr.on_span_end()
             break  # paramagnetic state: hand off to the simple solver
         rep = fg.decimate(bias, fraction=cfg.decimation_fraction,
                           at_least=1)
@@ -183,6 +196,8 @@ def _run_sp_impl(fg: FactorGraph, cfg: SPConfig,
             counter.launch("sp.decimate", items=rep.fixed,
                            word_writes=2 * rep.edges_removed + rep.fixed,
                            atomics=rep.clauses_removed, barriers=1)
+        if tr is not None:
+            tr.on_span_end()
         if rep.contradiction:
             return phases, iters, True
         _ = rng  # reserved for future randomized decimation policies
@@ -191,13 +206,14 @@ def _run_sp_impl(fg: FactorGraph, cfg: SPConfig,
 
 def solve_sp(cnf: CNF, cfg: SPConfig | None = None,
              counter: OpCounter | None = None, *,
-             sanitizer=None) -> SPResult:
+             sanitizer=None, tracer=None) -> SPResult:
     """Full pipeline: SP + decimation, then WalkSAT on the residual."""
     cfg = cfg or SPConfig()
     ctr = counter or OpCounter()
     fg = FactorGraph(cnf, seed=cfg.seed)
     phases, iters, contradiction = run_sp(fg, cfg, ctr,
-                                          sanitizer=sanitizer)
+                                          sanitizer=sanitizer,
+                                          tracer=tracer)
     if contradiction:
         return SPResult("CONTRADICTION", None, ctr, phases, iters,
                         fixed_by_sp=int((fg.fixed >= 0).sum()),
@@ -212,8 +228,11 @@ def solve_sp(cnf: CNF, cfg: SPConfig | None = None,
     flips = cfg.walksat_flips
     if flips is None:
         flips = min(max(50_000, 100 * residual.num_vars), 300_000)
-    ws = walksat(residual, max_flips=flips, seed=cfg.seed, restarts=2,
-                 counter=ctr)
+    with maybe_activate_tracer(tracer):
+        with trace_span("satsp.walksat", cat="driver",
+                        residual_vars=residual.num_vars):
+            ws = walksat(residual, max_flips=flips, seed=cfg.seed,
+                         restarts=2, counter=ctr)
     if ws is None:
         return SPResult("UNKNOWN", None, ctr, phases, iters, fixed_by_sp, 0)
     assignment = fg.full_assignment(ws, var_map)

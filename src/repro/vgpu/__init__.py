@@ -6,8 +6,9 @@ simulated race orders (:mod:`.atomics`), global-barrier cost models
 (:mod:`.sync`), device memory / chunk / recycle allocators
 (:mod:`.memory`), kernel launch bookkeeping and an SPMD generator-thread
 executor (:mod:`.kernel`), the counts-to-seconds cost model
-(:mod:`.costmodel`), and the sanitizer hook point every primitive
-reports through (:mod:`.instrument`, consumed by :mod:`repro.analysis`).
+(:mod:`.costmodel`), and the sanitizer/tracer hook point every primitive
+reports through (:mod:`.instrument`, consumed by :mod:`repro.analysis`
+and :mod:`repro.obs`).
 """
 
 from .device import CpuSpec, GpuSpec, LaunchConfig, TESLA_C2070, XEON_E7540
@@ -15,8 +16,10 @@ from .sync import BarrierKind, BarrierModel, FENCE, HIERARCHICAL, NAIVE_ATOMIC
 from .memory import ChunkAllocator, ChunkList, DeviceAllocator, RecyclePool
 from .kernel import KernelLauncher, spmd_launch
 from .costmodel import CostModel, ModeledTimes
-from .instrument import (SanitizerHooks, activate, current_sanitizer,
-                         maybe_activate, record_read, record_write)
+from .instrument import (SanitizerHooks, TracerHooks, activate,
+                         activate_tracer, current_sanitizer, current_tracer,
+                         maybe_activate, maybe_activate_tracer, record_read,
+                         record_write, trace_gauge, trace_launch, trace_span)
 from . import atomics, instrument
 
 __all__ = [
@@ -26,4 +29,6 @@ __all__ = [
     "KernelLauncher", "spmd_launch", "CostModel", "ModeledTimes", "atomics",
     "SanitizerHooks", "activate", "current_sanitizer", "maybe_activate",
     "record_read", "record_write", "instrument",
+    "TracerHooks", "activate_tracer", "current_tracer",
+    "maybe_activate_tracer", "trace_span", "trace_launch", "trace_gauge",
 ]

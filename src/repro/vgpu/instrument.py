@@ -1,13 +1,15 @@
-"""Sanitizer hook registry for the virtual GPU.
+"""Instrumentation hook registry for the virtual GPU.
 
 This module is the *hook point* between the simulated device and the
-:mod:`repro.analysis` sanitizer subsystem — and deliberately knows
-nothing about any concrete sanitizer.  The device primitives
-(:mod:`.atomics`, :mod:`.memory`, :mod:`.kernel`) and the conflict
-engine (:mod:`repro.core.conflict`) consult :func:`current_sanitizer`
-on every operation; when no sanitizer is active (the default) the check
-is a single ``None`` comparison, so production runs pay essentially
-nothing.
+two observability subsystems — the :mod:`repro.analysis` sanitizer and
+the :mod:`repro.obs` tracer — and deliberately knows nothing about any
+concrete client.  The device primitives (:mod:`.atomics`,
+:mod:`.memory`, :mod:`.kernel`), the conflict engine
+(:mod:`repro.core.conflict`) and the counters consult
+:func:`current_sanitizer` / :func:`current_tracer` on every operation;
+when no client is active (the default) each check is a single ``None``
+comparison, so production runs pay essentially nothing and consume no
+RNG draws.
 
 A sanitizer is any object implementing the :class:`SanitizerHooks`
 interface (all methods are optional no-ops on the base class).  It is
@@ -19,6 +21,12 @@ installed for a dynamic scope with :func:`activate`::
     with det.activate():          # wraps instrument.activate(det)
         refine_gpu(mesh)
     det.assert_clean()
+
+A tracer is any object implementing :class:`TracerHooks` (the concrete
+one is :class:`repro.obs.Tracer`); it is installed with
+:func:`activate_tracer` / :func:`maybe_activate_tracer` and fed through
+the :func:`trace_span` / :func:`trace_launch` / :func:`trace_gauge`
+convenience wrappers sprinkled through the device and core layers.
 
 Kernels that perform raw vectorized gathers/stores outside the atomics
 API can annotate them with :func:`record_read` / :func:`record_write`
@@ -34,6 +42,9 @@ import numpy as np
 __all__ = [
     "SanitizerHooks", "current_sanitizer", "activate", "maybe_activate",
     "record_read", "record_write",
+    "TracerHooks", "current_tracer", "activate_tracer",
+    "maybe_activate_tracer", "suppress_tracer",
+    "trace_span", "trace_launch", "trace_gauge",
 ]
 
 
@@ -142,3 +153,136 @@ def record_write(arr: np.ndarray, idx, *, tids=None, kind: str = "plain",
     san = _current
     if san is not None:
         san.on_write(arr, idx, tids=tids, kind=kind, intent=intent)
+
+
+# ------------------------------------------------------------------ #
+# Tracer hooks (consumed by repro.obs)                               #
+# ------------------------------------------------------------------ #
+
+class TracerHooks:
+    """No-op base interface for launch-level tracers.
+
+    The vocabulary mirrors how the host observes a bulk-synchronous
+    device:
+
+    * span scopes (``on_span_begin`` / ``on_span_end``) delimit
+      hierarchical regions — driver runs, do-while iterations, marking
+      kernels;
+    * ``on_launch`` reports one completed kernel launch (or one
+      barrier-separated wave / conflict phase of a running kernel) with
+      its operation counts, from which a tracer derives a cost-model
+      duration;
+    * ``on_gauge`` samples a named scalar (worklist occupancy, bytes
+      live, threads-per-block, ...) at the current point of the span
+      timeline;
+    * ``on_geometry`` reports the launch geometry so barrier crossings
+      can be priced for the configuration actually in flight.
+
+    All hooks are *observational*: a tracer must not mutate device
+    state and must not draw from any RNG, so traced runs stay
+    byte-identical to untraced ones.
+    """
+
+    def on_span_begin(self, name: str, cat: str = "span", **args) -> None:
+        pass
+
+    def on_span_end(self, **args) -> None:
+        pass
+
+    def on_launch(self, name: str, *, cat: str = "kernel.launch",
+                  items: int = 0, aborted: int = 0, word_reads: int = 0,
+                  word_writes: int = 0, atomics: int = 0, barriers: int = 0,
+                  launches: int = 1, issued_lane_steps: int = 0,
+                  critical_lane_steps: int = 0) -> None:
+        pass
+
+    def on_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def on_geometry(self, blocks: int, threads_per_block: int) -> None:
+        pass
+
+
+_current_tracer: TracerHooks | None = None
+
+
+def current_tracer() -> TracerHooks | None:
+    """The innermost active tracer, or ``None``."""
+    return _current_tracer
+
+
+@contextmanager
+def activate_tracer(tracer: TracerHooks):
+    """Install ``tracer`` for the dynamic extent of the ``with`` block.
+
+    Activations nest; the innermost tracer receives the events (an
+    outer one is restored when the inner scope exits).
+    """
+    global _current_tracer
+    prev = _current_tracer
+    _current_tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _current_tracer = prev
+
+
+@contextmanager
+def maybe_activate_tracer(tracer: TracerHooks | None):
+    """Like :func:`activate_tracer` but a no-op when ``tracer`` is ``None``.
+
+    This is the opt-in entry-point idiom: every algorithm driver takes a
+    ``tracer=None`` keyword and wraps its body in
+    ``maybe_activate_tracer``, mirroring ``sanitizer=``.
+    """
+    if tracer is None:
+        yield None
+        return
+    with activate_tracer(tracer):
+        yield tracer
+
+
+@contextmanager
+def suppress_tracer():
+    """Temporarily deactivate the tracer for the ``with`` block.
+
+    Used by subsystems that report their own finer-grained (per-phase)
+    priced events and then also feed an :class:`~repro.core.counters.\
+OpCounter` — whose launch hook would otherwise price the same work a
+    second time.
+    """
+    global _current_tracer
+    prev = _current_tracer
+    _current_tracer = None
+    try:
+        yield
+    finally:
+        _current_tracer = prev
+
+
+@contextmanager
+def trace_span(name: str, cat: str = "span", **args):
+    """Open a tracer span for the ``with`` block (no-op when inactive)."""
+    tr = _current_tracer
+    if tr is None:
+        yield None
+        return
+    tr.on_span_begin(name, cat=cat, **args)
+    try:
+        yield tr
+    finally:
+        tr.on_span_end()
+
+
+def trace_launch(name: str, **counts) -> None:
+    """Report a completed launch/phase to the active tracer, if any."""
+    tr = _current_tracer
+    if tr is not None:
+        tr.on_launch(name, **counts)
+
+
+def trace_gauge(name: str, value: float) -> None:
+    """Sample a gauge on the active tracer, if any."""
+    tr = _current_tracer
+    if tr is not None:
+        tr.on_gauge(name, value)

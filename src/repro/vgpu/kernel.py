@@ -25,7 +25,7 @@ import numpy as np
 
 from ..core.counters import OpCounter
 from .device import GpuSpec, LaunchConfig, TESLA_C2070
-from .instrument import current_sanitizer
+from .instrument import current_sanitizer, current_tracer, trace_span
 
 __all__ = ["KernelLauncher", "spmd_launch"]
 
@@ -51,6 +51,9 @@ class KernelLauncher:
         # Record geometry so the cost model can price barriers correctly.
         counter.scalars.setdefault("cfg_blocks", config.blocks)
         counter.scalars.setdefault("cfg_tpb", config.threads_per_block)
+        tr = current_tracer()
+        if tr is not None:
+            tr.on_geometry(config.blocks, config.threads_per_block)
 
     def launch(self, name: str):
         return _LaunchRecorder(self, name)
@@ -117,43 +120,46 @@ def spmd_launch(
     if not inspect.isgeneratorfunction(thread_fn):
         if san is not None:
             san.on_kernel_begin(name, threads=n_threads)
-        order = rng.permutation(n_threads)
-        for tid in order:
-            thread_fn(int(tid), *args)
-        if san is not None:
-            san.on_kernel_end(name)
-        if counter is not None:
-            counter.launch(name, items=n_threads, barriers=0)
+        with trace_span(name, cat="kernel.spmd", threads=n_threads):
+            order = rng.permutation(n_threads)
+            for tid in order:
+                thread_fn(int(tid), *args)
+            if san is not None:
+                san.on_kernel_end(name)
+            if counter is not None:
+                counter.launch(name, items=n_threads, barriers=0)
         return 1
 
     if san is not None:
         san.on_kernel_begin(name, threads=n_threads)
-    gens = [thread_fn(tid, *args) for tid in range(n_threads)]
-    live = list(range(n_threads))
-    barrier_counts = np.zeros(n_threads, dtype=np.int64)
-    phases = 0
-    try:
-        while live:
-            phases += 1
-            if phases > max_phases:
-                raise RuntimeError("spmd_launch exceeded max_phases (deadlock?)")
-            order = rng.permutation(len(live))
-            survivors = []
-            for k in order:
-                idx = live[k]
-                try:
-                    next(gens[idx])
-                    survivors.append(idx)
-                except StopIteration:
-                    pass
-            live = survivors
-            if live and san is not None:
-                san.on_barrier()
-            barrier_counts[survivors] += 1
-    finally:
-        if san is not None:
-            san.on_spmd_barriers(name, barrier_counts)
-            san.on_kernel_end(name)
-    if counter is not None:
-        counter.launch(name, items=n_threads, barriers=phases - 1)
+    with trace_span(name, cat="kernel.spmd", threads=n_threads):
+        gens = [thread_fn(tid, *args) for tid in range(n_threads)]
+        live = list(range(n_threads))
+        barrier_counts = np.zeros(n_threads, dtype=np.int64)
+        phases = 0
+        try:
+            while live:
+                phases += 1
+                if phases > max_phases:
+                    raise RuntimeError(
+                        "spmd_launch exceeded max_phases (deadlock?)")
+                order = rng.permutation(len(live))
+                survivors = []
+                for k in order:
+                    idx = live[k]
+                    try:
+                        next(gens[idx])
+                        survivors.append(idx)
+                    except StopIteration:
+                        pass
+                live = survivors
+                if live and san is not None:
+                    san.on_barrier()
+                barrier_counts[survivors] += 1
+        finally:
+            if san is not None:
+                san.on_spmd_barriers(name, barrier_counts)
+                san.on_kernel_end(name)
+        if counter is not None:
+            counter.launch(name, items=n_threads, barriers=phases - 1)
     return phases

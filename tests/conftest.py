@@ -21,6 +21,22 @@ def pytest_addoption(parser):
         "--sanitize", action="store_true", default=False,
         help="run conflict-engine/integration tests under the "
              "repro.analysis race detector and fail on any finding")
+    parser.addoption(
+        "--trace-smoke", action="store_true", default=False,
+        help="run only the trace_smoke tests: one small traced run per "
+             "algorithm driver, validating the exported Chrome trace")
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--trace-smoke"):
+        return
+    selected = [it for it in items
+                if it.get_closest_marker("trace_smoke") is not None]
+    deselected = [it for it in items
+                  if it.get_closest_marker("trace_smoke") is None]
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = selected
 
 
 def pytest_configure(config):

@@ -1,0 +1,217 @@
+"""Hypothesis property tests for the storage/worklist substrate.
+
+Randomized structural invariants for :mod:`repro.core.worklist`
+(push/pop conservation, local-vs-central equivalence),
+:mod:`repro.core.ragged` (CSR round-trips), and the
+:mod:`repro.vgpu.memory` allocators (chunk no-overlap, extents,
+recycle-slot accounting)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ragged import Ragged
+from repro.core.worklist import CentralWorklist, LocalWorklists
+from repro.vgpu.memory import ChunkAllocator, DeviceAllocator, RecyclePool
+
+_settings = settings(max_examples=50, deadline=None)
+
+items_lists = st.lists(st.integers(min_value=0, max_value=10_000),
+                       max_size=60)
+
+
+# --------------------------------------------------------------------- #
+# Worklists
+# --------------------------------------------------------------------- #
+
+@_settings
+@given(batches=st.lists(items_lists, max_size=6))
+def test_central_worklist_conserves_items(batches):
+    wl = CentralWorklist(4)
+    pushed = []
+    for batch in batches:
+        wl.append(np.asarray(batch, dtype=np.int64))
+        pushed.extend(batch)
+    assert len(wl) == len(pushed)
+    drained = wl.drain()
+    assert sorted(drained.tolist()) == sorted(pushed)
+    assert len(wl) == 0
+    assert wl.drain().size == 0
+
+
+@_settings
+@given(batches=st.lists(items_lists, min_size=1, max_size=6),
+       n_threads=st.integers(min_value=1, max_value=8))
+def test_local_worklists_conserve_items(batches, n_threads):
+    wl = LocalWorklists(n_threads)
+    pushed = []
+    for t, batch in enumerate(batches):
+        wl.push(t % n_threads, np.asarray(batch, dtype=np.int64))
+        pushed.extend(batch)
+    assert wl.total() == len(pushed)
+    assert sorted(wl.all_items().tolist()) == sorted(pushed)
+
+
+@_settings
+@given(batches=st.lists(items_lists, min_size=1, max_size=6),
+       n_threads=st.integers(min_value=1, max_value=8))
+def test_rebalance_preserves_and_balances(batches, n_threads):
+    wl = LocalWorklists(n_threads)
+    for t, batch in enumerate(batches):
+        wl.push(t % n_threads, np.asarray(batch, dtype=np.int64))
+    before = sorted(wl.all_items().tolist())
+    wl.rebalance()
+    assert sorted(wl.all_items().tolist()) == before
+    sizes = wl.sizes()
+    # equal chunks: nobody holds more than one ceil-division share
+    chunk = -(-len(before) // n_threads) if before else 0
+    assert sizes.max() <= chunk
+
+
+@_settings
+@given(n_elements=st.integers(min_value=0, max_value=500),
+       n_threads=st.integers(min_value=1, max_value=16))
+def test_local_vs_central_equivalence(n_elements, n_threads):
+    """Pseudo-partitioned local lists hold exactly the element range a
+    central queue would: same items, no duplication, no loss."""
+    local = LocalWorklists.assign(n_elements, n_threads)
+    central = CentralWorklist(max(1, n_elements))
+    central.append(np.arange(n_elements, dtype=np.int64))
+    assert local.total() == len(central)
+    assert np.array_equal(np.sort(local.all_items()),
+                          np.sort(central.drain()))
+    # chunks are contiguous and disjoint
+    seen = [v for t in range(n_threads) for v in local.local(t).tolist()]
+    assert sorted(seen) == list(range(n_elements))
+
+
+# --------------------------------------------------------------------- #
+# Ragged (CSR) arrays
+# --------------------------------------------------------------------- #
+
+@_settings
+@given(rows=st.lists(items_lists, max_size=12))
+def test_ragged_roundtrip(rows):
+    r = Ragged.from_lists(rows)
+    assert r.num_rows == len(rows)
+    assert r.total() == sum(len(x) for x in rows)
+    assert np.array_equal(r.lengths(),
+                          np.asarray([len(x) for x in rows], dtype=np.int64))
+    for i, row in enumerate(rows):
+        assert r.row(i).tolist() == list(row)
+    assert r.row_ids().size == r.total()
+
+
+@_settings
+@given(rows=st.lists(items_lists, min_size=1, max_size=12),
+       data=st.data())
+def test_ragged_select_rows(rows, data):
+    r = Ragged.from_lists(rows)
+    idx = data.draw(st.lists(
+        st.integers(min_value=0, max_value=len(rows) - 1),
+        max_size=len(rows)))
+    sel = r.select_rows(np.asarray(idx, dtype=np.int64))
+    assert sel.num_rows == len(idx)
+    for out_i, src_i in enumerate(idx):
+        assert sel.row(out_i).tolist() == list(rows[src_i])
+
+
+# --------------------------------------------------------------------- #
+# Chunk allocation (Kernel-Only storage)
+# --------------------------------------------------------------------- #
+
+@_settings
+@given(inserts=st.lists(items_lists, min_size=1, max_size=8),
+       chunk_size=st.integers(min_value=1, max_value=64))
+def test_chunk_allocator_is_a_growable_set(inserts, chunk_size):
+    alloc = ChunkAllocator(chunk_size)
+    lst = alloc.new_list()
+    expect: set[int] = set()
+    for batch in inserts:
+        before = len(expect)
+        added = alloc.insert_many(lst, np.asarray(batch, dtype=np.int64))
+        expect.update(batch)
+        assert added == len(expect) - before
+    stored = lst.to_array()
+    assert sorted(stored.tolist()) == sorted(expect)   # no loss, no dup
+    # chunk extents respected, each chunk individually sorted
+    for chunk, n in zip(lst.chunks, lst.counts):
+        assert 0 < n <= chunk_size <= chunk.size
+        assert np.all(np.diff(chunk[:n]) > 0)
+    assert alloc.slots_used == len(expect)
+    assert alloc.chunks_allocated * chunk_size >= alloc.slots_used
+
+
+@_settings
+@given(values=items_lists, probes=items_lists,
+       chunk_size=st.integers(min_value=1, max_value=32))
+def test_chunk_list_contains(values, probes, chunk_size):
+    alloc = ChunkAllocator(chunk_size)
+    lst = alloc.new_list()
+    alloc.insert_many(lst, np.asarray(values, dtype=np.int64))
+    present = set(values)
+    for p in probes + values:
+        assert lst.contains(p) == (p in present)
+
+
+# --------------------------------------------------------------------- #
+# Recycle pool
+# --------------------------------------------------------------------- #
+
+@_settings
+@given(released=st.lists(st.integers(min_value=0, max_value=1000),
+                         unique=True, max_size=40),
+       n=st.integers(min_value=0, max_value=60),
+       tail=st.integers(min_value=1001, max_value=2000))
+def test_recycle_pool_allocate_accounting(released, n, tail):
+    pool = RecyclePool()
+    pool.release(np.asarray(released, dtype=np.int64))
+    slots, new_tail = pool.allocate(n, tail_start=tail)
+    assert slots.size == n
+    assert np.unique(slots).size == n                 # no overlap
+    reused = [s for s in slots.tolist() if s < 1001]
+    fresh = [s for s in slots.tolist() if s >= tail]
+    assert len(reused) + len(fresh) == n
+    assert set(reused) <= set(released)
+    assert new_tail == tail + max(0, n - len(released))
+    assert fresh == list(range(tail, new_tail))
+
+
+# --------------------------------------------------------------------- #
+# Device heap
+# --------------------------------------------------------------------- #
+
+@_settings
+@given(shapes=st.lists(st.integers(min_value=1, max_value=100),
+                       min_size=1, max_size=10))
+def test_device_allocator_accounting(shapes):
+    alloc = DeviceAllocator()
+    arrs = [alloc.malloc((n,), dtype=np.int64) for n in shapes]
+    live = sum(a.nbytes for a in arrs)
+    assert alloc.bytes_in_use == live
+    assert alloc.high_water == live
+    for a in arrs:
+        alloc.free(a)
+    assert alloc.bytes_in_use == 0
+    assert alloc.high_water == live
+    assert alloc.mallocs == alloc.frees == len(shapes)
+
+
+@_settings
+@given(start=st.integers(min_value=1, max_value=50),
+       grow_to=st.integers(min_value=1, max_value=200))
+def test_device_allocator_realloc_preserves_prefix(start, grow_to):
+    alloc = DeviceAllocator()
+    arr = alloc.malloc((start,), dtype=np.int64)
+    arr[:] = np.arange(start)
+    out = alloc.realloc(arr, grow_to, fill=-1)
+    if grow_to <= start:
+        assert out is arr                             # no-op, no copy
+        assert alloc.bytes_copied == 0
+    else:
+        assert out.shape[0] == grow_to                # extent honored
+        assert np.array_equal(out[:start], np.arange(start))
+        assert np.all(out[start:] == -1)
+        assert alloc.bytes_copied == start * 8
+        assert alloc.bytes_in_use == out.nbytes

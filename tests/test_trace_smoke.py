@@ -1,0 +1,98 @@
+"""Trace smoke tests (``pytest --trace-smoke``; the CI trace step).
+
+One *small* traced run per algorithm driver: each test runs the driver
+with a :class:`repro.obs.Tracer`, exports the Chrome trace to disk,
+re-loads it, and validates it against the schema.  These double as the
+end-to-end check that every driver's ``tracer=`` opt-in stays wired."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import Tracer, validate_chrome_trace, write_chrome_trace
+
+pytestmark = pytest.mark.trace_smoke
+
+
+def _export_and_validate(tmp_path, tracer, name,
+                         expect_cats=("driver", "iteration")):
+    path = tmp_path / f"{name}.json"
+    write_chrome_trace(path, tracer)
+    doc = json.loads(path.read_text())
+    n = validate_chrome_trace(doc)
+    assert n > 0
+    cats = {e.get("cat") for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert set(expect_cats) <= cats, cats
+    assert tracer.metrics()["modeled_us"] > 0
+    return doc
+
+
+def test_trace_smoke_dmr(tmp_path):
+    from repro.dmr import refine_gpu
+    from repro.meshing.generate import random_mesh
+
+    tr = Tracer()
+    res = refine_gpu(random_mesh(300, seed=1), tracer=tr)
+    assert res.converged
+    doc = _export_and_validate(tmp_path, tr, "dmr",
+                               ("driver", "iteration", "conflict.phase"))
+    phases = {e["name"] for e in doc["traceEvents"]
+              if e.get("cat") == "conflict.phase"}
+    assert {"race", "prioritycheck", "check"} <= phases
+
+
+def test_trace_smoke_edgeflip(tmp_path):
+    from repro.meshing.edgeflip import legalize_gpu, random_legal_flips
+    from repro.meshing.generate import random_mesh
+
+    mesh = random_mesh(200, seed=2)
+    random_legal_flips(mesh, 15, seed=3)
+    tr = Tracer()
+    legalize_gpu(mesh, seed=4, tracer=tr)
+    _export_and_validate(tmp_path, tr, "edgeflip")
+
+
+def test_trace_smoke_insert(tmp_path):
+    from repro.meshing.generate import random_mesh
+    from repro.meshing.gpu_insert import gpu_insert_points
+
+    rng = np.random.default_rng(5)
+    tr = Tracer()
+    res = gpu_insert_points(random_mesh(150, seed=5),
+                            rng.uniform(0.4, 0.6, 6),
+                            rng.uniform(0.4, 0.6, 6), seed=6, tracer=tr)
+    assert res.inserted == 6
+    _export_and_validate(tmp_path, tr, "insert",
+                         ("driver", "iteration", "conflict.phase"))
+
+
+def test_trace_smoke_mst(tmp_path):
+    from repro.graphgen import random_graph
+    from repro.mst import boruvka_gpu
+
+    n, src, dst, w = random_graph(200, 800, seed=7)
+    tr = Tracer()
+    boruvka_gpu(n, src, dst, w, tracer=tr)
+    _export_and_validate(tmp_path, tr, "mst")
+
+
+def test_trace_smoke_pta(tmp_path):
+    from repro.pta import andersen_pull, generate_constraints
+
+    tr = Tracer()
+    andersen_pull(generate_constraints(80, 140, seed=8), tracer=tr)
+    _export_and_validate(tmp_path, tr, "pta")
+
+
+def test_trace_smoke_sp(tmp_path):
+    from repro.satsp import random_ksat
+    from repro.satsp.sp import SPConfig, solve_sp
+
+    tr = Tracer()
+    solve_sp(random_ksat(250, 3, seed=9),
+             SPConfig(seed=9, max_iters=60, max_phases=5,
+                      require_convergence=False), tracer=tr)
+    _export_and_validate(tmp_path, tr, "sp", ("driver",))

@@ -35,8 +35,12 @@ def cached_mesh(n_triangles: int, seed: int = 0):
     if (base.with_suffix(".node")).exists():
         try:
             return load_mesh(base)
-        except Exception:
-            pass
+        except (OSError, ValueError, IndexError):
+            # Corrupt or truncated cache entry (e.g. a benchmark run
+            # killed mid-save): drop both files so the regenerated mesh
+            # is not half-read from stale parts next time.
+            base.with_suffix(".node").unlink(missing_ok=True)
+            base.with_suffix(".ele").unlink(missing_ok=True)
     mesh = random_mesh(n_triangles, seed=seed)
     save_mesh(base, mesh)
     return mesh

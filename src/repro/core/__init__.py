@@ -23,7 +23,7 @@ from .layout import (bfs_permutation, invert_permutation, layout_quality,
                      swap_scan_permutation)
 from .divergence import divergence_gain, partition_active, warp_efficiency
 from .profiling import ParallelismProfile, greedy_mis, profile_parallelism
-from .engine import MorphPlan, MorphStats, run_morph_rounds
+from .engine import EngineCheckpoint, MorphPlan, MorphStats, run_morph_rounds
 from .traversal import bfs_levels, connected_components, sssp_bellman_ford
 
 __all__ = [
@@ -39,6 +39,6 @@ __all__ = [
     "swap_scan_permutation",
     "divergence_gain", "partition_active", "warp_efficiency",
     "ParallelismProfile", "greedy_mis", "profile_parallelism",
-    "MorphPlan", "MorphStats", "run_morph_rounds",
+    "EngineCheckpoint", "MorphPlan", "MorphStats", "run_morph_rounds",
     "bfs_levels", "connected_components", "sssp_bellman_ford",
 ]

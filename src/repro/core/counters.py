@@ -113,6 +113,12 @@ class KernelStats:
         self.critical_lane_steps += other.critical_lane_steps
         self.per_launch_items.extend(other.per_launch_items)
 
+    def __add__(self, other: "KernelStats") -> "KernelStats":
+        out = KernelStats()
+        out.merge(self)
+        out.merge(other)
+        return out
+
 
 class OpCounter:
     """A hierarchical registry of :class:`KernelStats`, keyed by kernel name.
@@ -228,6 +234,35 @@ class OpCounter:
             self.kernel(name).merge(ks)
         for key, val in other.scalars.items():
             self.bump(key, val)
+
+    def __add__(self, other: "OpCounter") -> "OpCounter":
+        """Lossless aggregation: a fresh counter holding both tallies.
+
+        ``sum(counters, OpCounter())`` therefore folds per-process
+        counters from a worker pool into one whole-batch counter.  Note
+        that ``merge``/``+`` *sums* the scalar tallies, so per-run
+        configuration scalars (``cfg_blocks``, ``barrier_kind``,
+        ``fp_scale``) are only meaningful when at most one operand sets
+        them.
+        """
+        if not isinstance(other, OpCounter):
+            return NotImplemented
+        out = OpCounter()
+        out.merge(self)
+        out.merge(other)
+        return out
+
+    def __radd__(self, other) -> "OpCounter":
+        # Support ``sum(...)`` with its default integer start value.
+        if other == 0:
+            return OpCounter() + self
+        return NotImplemented
+
+    def copy(self) -> "OpCounter":
+        """An independent deep copy (shares no mutable state)."""
+        out = OpCounter()
+        out.merge(self)
+        return out
 
     def reset(self) -> None:
         self._kernels.clear()

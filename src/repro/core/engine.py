@@ -20,6 +20,7 @@ recoloring).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -30,7 +31,7 @@ from .conflict import three_phase_mark
 from .counters import OpCounter
 from .ragged import Ragged
 
-__all__ = ["MorphPlan", "MorphStats", "run_morph_rounds"]
+__all__ = ["MorphPlan", "MorphStats", "EngineCheckpoint", "run_morph_rounds"]
 
 
 @dataclass
@@ -55,6 +56,49 @@ class MorphStats:
         total = self.applied + self.aborted
         return self.aborted / total if total else 0.0
 
+    def merge(self, other: "MorphStats") -> None:
+        """Fold another run's tallies into this one (lossless: the
+        per-round parallelism profile concatenates in run order)."""
+        self.rounds += other.rounds
+        self.applied += other.applied
+        self.aborted += other.aborted
+        self.parallelism.extend(other.parallelism)
+
+    def __add__(self, other: "MorphStats") -> "MorphStats":
+        if not isinstance(other, MorphStats):
+            return NotImplemented
+        out = MorphStats()
+        out.merge(self)
+        out.merge(other)
+        return out
+
+    def __radd__(self, other) -> "MorphStats":
+        if other == 0:
+            return MorphStats() + self
+        return NotImplemented
+
+
+@dataclass
+class EngineCheckpoint:
+    """Round-granular engine state, captured between rounds.
+
+    A checkpoint is taken at a *consistent* point — after round
+    ``round``'s applies, counter launch, and stall bookkeeping, before
+    any of round ``round + 1``'s RNG draws — so a run resumed from it
+    replays the remaining rounds exactly.  ``payload`` is whatever the
+    caller's ``snapshot()`` returned (its own mutable state, e.g. a
+    graph copy); the engine never interprets it.  All fields are plain
+    picklable objects, so a checkpoint can cross a process boundary or
+    a crash (see :mod:`repro.serve.checkpoint`).
+    """
+
+    round: int
+    stats: MorphStats
+    counter: OpCounter
+    rng_state: dict
+    payload: object = None
+    stalled: int = 0
+
 
 def run_morph_rounds(
     active: Callable[[], Sequence[int]],
@@ -67,6 +111,11 @@ def run_morph_rounds(
     kernel: str = "morph.round",
     max_rounds: int = 1_000_000,
     ensure_progress: bool = True,
+    round_hook: Callable[[int], None] | None = None,
+    checkpoint_every: int = 0,
+    snapshot: Callable[[], object] | None = None,
+    on_checkpoint: Callable[[EngineCheckpoint], None] | None = None,
+    resume: EngineCheckpoint | None = None,
 ) -> MorphStats:
     """Drive plan/mark/apply rounds until ``active()`` is empty.
 
@@ -77,19 +126,46 @@ def run_morph_rounds(
       signal a failed (retryable) application;
     * ``num_elements()`` — size of the claimable element space.
 
+    Checkpoint/retry support (consumed by :mod:`repro.serve`):
+
+    * ``round_hook(round)`` runs at the top of each round, before any
+      RNG draw or mutation — the injection site for cooperative
+      timeouts and deterministic fault injection.  An exception it
+      raises aborts the run with all state from completed rounds
+      intact (the last checkpoint is still consistent).
+    * Every ``checkpoint_every`` completed rounds the engine hands an
+      :class:`EngineCheckpoint` to ``on_checkpoint``; the caller's
+      ``snapshot()`` supplies the payload and must copy any state it
+      returns.
+    * ``resume`` restores a prior checkpoint: statistics, RNG state
+      and (when ``counter`` is not given) the counter continue from
+      it.  The caller must have restored its own state from
+      ``resume.payload`` first.  The resumed run is byte-identical to
+      the uninterrupted one.
+
     Raises ``RuntimeError`` if ``max_rounds`` is exceeded or if a round
     with pending plans makes no progress twice in a row (a livelock that
     ``ensure_progress`` should normally preclude).
     """
     rng = rng or np.random.default_rng(0)
-    ctr = counter or OpCounter()
+    if counter is not None:
+        ctr = counter
+    elif resume is not None:
+        ctr = resume.counter
+    else:
+        ctr = OpCounter()
     stats = MorphStats()
-    stalled = 0
+    if resume is not None:
+        stats.merge(copy.deepcopy(resume.stats))
+        rng.bit_generator.state = copy.deepcopy(resume.rng_state)
+    stalled = resume.stalled if resume is not None else 0
     while stats.rounds < max_rounds:
         items = list(active())
         if not items:
             return stats
         stats.rounds += 1
+        if round_hook is not None:
+            round_hook(stats.rounds)
         plans = list(plan(items, rng))
         if not plans:
             return stats
@@ -129,4 +205,13 @@ def run_morph_rounds(
                                    "applied in two consecutive rounds")
         else:
             stalled = 0
+        if (checkpoint_every > 0 and on_checkpoint is not None
+                and stats.rounds % checkpoint_every == 0):
+            on_checkpoint(EngineCheckpoint(
+                round=stats.rounds,
+                stats=copy.deepcopy(stats),
+                counter=copy.deepcopy(ctr),
+                rng_state=copy.deepcopy(rng.bit_generator.state),
+                payload=snapshot() if snapshot is not None else None,
+                stalled=stalled))
     raise RuntimeError("morph engine exceeded max_rounds")

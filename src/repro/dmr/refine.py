@@ -47,7 +47,8 @@ from ..vgpu.memory import RecyclePool
 from ..vgpu.sync import BarrierModel, FENCE
 from .plan import RefinePlan, apply_plan
 
-__all__ = ["DMRConfig", "DMRResult", "refine_gpu", "reorder_mesh"]
+__all__ = ["DMRConfig", "DMRResult", "refine_gpu", "reorder_mesh",
+           "serve_job"]
 
 #: slot distance under which a neighbor access is modeled as cache-local
 LOCAL_WINDOW = 2048
@@ -568,3 +569,42 @@ def _wave_work(attempt: np.ndarray, plans, threads: int, live: int,
         else:
             work[int(attempt[i]) % work.size] += w
     return work
+
+
+# ------------------------------------------------------------------ #
+# repro.serve adapter                                                #
+# ------------------------------------------------------------------ #
+
+def serve_job(params, strategy, seed, ctx):
+    """Job adapter for :mod:`repro.serve` (``algorithm="dmr"``).
+
+    Builds a ``params["n_triangles"]``-triangle random mesh from
+    ``seed`` and refines it.  ``strategy`` keys map onto
+    :class:`DMRConfig`: ``conflict``, ``barrier`` (``"fence"`` /
+    ``"hierarchical"`` / ``"naive"``), ``layout_opt``,
+    ``local_worklists``, ``sort_work``, ``precision``,
+    ``growth_factor``, ``priority``.
+    """
+    from ..meshing.generate import random_mesh
+    from ..vgpu.sync import HIERARCHICAL, NAIVE_ATOMIC
+
+    barriers = {"fence": FENCE, "hierarchical": HIERARCHICAL,
+                "naive": NAIVE_ATOMIC}
+    kwargs = {k: strategy[k] for k in
+              ("conflict", "layout_opt", "local_worklists", "sort_work",
+               "precision", "growth_factor", "priority") if k in strategy}
+    if "barrier" in strategy:
+        kwargs["barrier"] = barriers[strategy["barrier"]]
+    cfg = DMRConfig(seed=seed, **kwargs)
+    mesh = random_mesh(int(params.get("n_triangles", 600)), seed=seed)
+    res = refine_gpu(mesh, cfg, counter=ctx.counter)
+    out = res.mesh
+    arrays = (out.tri[: out.n_tris], out.px[: out.n_pts],
+              out.py[: out.n_pts], out.isdel[: out.n_tris])
+    summary = {"rounds": res.rounds, "processed": res.processed,
+               "points_added": res.points_added,
+               "aborted_conflicts": res.aborted_conflicts,
+               "aborted_geometry": res.aborted_geometry,
+               "converged": res.converged,
+               "triangles": int(out.num_triangles)}
+    return arrays, summary

@@ -35,7 +35,7 @@ from ..vgpu.memory import RecyclePool
 from .cavity import delaunay_cavity, locate, retriangulate
 from .mesh import TriMesh
 
-__all__ = ["InsertResult", "gpu_insert_points"]
+__all__ = ["InsertResult", "gpu_insert_points", "serve_job"]
 
 
 @dataclass
@@ -184,3 +184,36 @@ def _insert_impl(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
     return InsertResult(mesh=mesh, counter=ctr, rounds=rounds,
                         inserted=inserted, duplicates_skipped=dups,
                         aborted_conflicts=aborted, parallelism=parallelism)
+
+
+# ------------------------------------------------------------------ #
+# repro.serve adapter                                                #
+# ------------------------------------------------------------------ #
+
+def serve_job(params, strategy, seed, ctx):
+    """Job adapter for :mod:`repro.serve` (``algorithm="insertion"``).
+
+    Builds a ``params["n_triangles"]``-triangle mesh and inserts
+    ``params["n_points"]`` points drawn uniformly from the interior box
+    ``[0.3, 0.7]^2`` (meshes from :func:`~repro.meshing.generate.\
+random_mesh` cover the unit square, so the box stays inside the hull).
+    ``strategy`` understands ``max_points_per_round``.
+    """
+    from .generate import random_mesh
+
+    mesh = random_mesh(int(params.get("n_triangles", 300)), seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    n_points = int(params.get("n_points", 12))
+    x = rng.uniform(0.3, 0.7, n_points)
+    y = rng.uniform(0.3, 0.7, n_points)
+    res = gpu_insert_points(
+        mesh, x, y, seed=seed, counter=ctx.counter,
+        max_points_per_round=int(strategy.get("max_points_per_round", 4096)))
+    out = res.mesh
+    arrays = (out.tri[: out.n_tris], out.px[: out.n_pts],
+              out.py[: out.n_pts], out.isdel[: out.n_tris])
+    summary = {"rounds": res.rounds, "inserted": res.inserted,
+               "duplicates_skipped": res.duplicates_skipped,
+               "aborted_conflicts": res.aborted_conflicts,
+               "triangles": int(out.num_triangles)}
+    return arrays, summary

@@ -36,7 +36,7 @@ from ..vgpu.atomics import atomic_min
 from ..vgpu.instrument import (current_tracer, maybe_activate,
                                maybe_activate_tracer, trace_span)
 
-__all__ = ["MSTResult", "boruvka_gpu"]
+__all__ = ["MSTResult", "boruvka_gpu", "serve_job"]
 
 _INF = np.int64(2**62)
 
@@ -162,3 +162,27 @@ def _boruvka_impl(num_nodes: int, src: np.ndarray, dst: np.ndarray,
     n_comp = int(np.unique(comp).size)
     return MSTResult(mst_edges=mst, total_weight=total, counter=ctr,
                      rounds=rounds, num_components=n_comp)
+
+
+# ------------------------------------------------------------------ #
+# repro.serve adapter                                                #
+# ------------------------------------------------------------------ #
+
+def serve_job(params, strategy, seed, ctx):
+    """Job adapter for :mod:`repro.serve` (``algorithm="mst"``).
+
+    Builds a random graph (``num_nodes``, ``num_edges``) from ``seed``
+    and contracts it with the component-based Boruvka kernels.
+    ``strategy`` is currently unused (the four kernels have no
+    configuration knobs).
+    """
+    from ..graphgen import random_graph
+
+    num_nodes = int(params.get("num_nodes", 300))
+    num_edges = int(params.get("num_edges", 4 * num_nodes))
+    n, src, dst, w = random_graph(num_nodes, num_edges, seed=seed)
+    res = boruvka_gpu(n, src, dst, w, counter=ctx.counter)
+    summary = {"total_weight": int(res.total_weight), "rounds": res.rounds,
+               "num_components": res.num_components,
+               "mst_edges": int(res.mst_edges.size)}
+    return (res.mst_edges,), summary

@@ -29,7 +29,7 @@ from .bitset import BitMatrix
 from .constraints import Constraints, Kind
 from .graph import PullGraph
 
-__all__ = ["PTAResult", "andersen_pull"]
+__all__ = ["PTAResult", "andersen_pull", "serve_job"]
 
 
 @dataclass
@@ -184,3 +184,28 @@ def _andersen_pull_impl(cons: Constraints, *, chunk_size: int,
             break
     return PTAResult(pts=pts, counter=ctr, rounds=rounds,
                      edges_added=edges_added, propagation_sweeps=sweeps)
+
+
+# ------------------------------------------------------------------ #
+# repro.serve adapter                                                #
+# ------------------------------------------------------------------ #
+
+def serve_job(params, strategy, seed, ctx):
+    """Job adapter for :mod:`repro.serve` (``algorithm="pta"``).
+
+    Synthesizes a C-like constraint set (``num_vars``,
+    ``num_constraints``) from ``seed`` and solves it with the
+    pull-based analysis.  ``strategy`` understands ``chunk_size`` (the
+    Kernel-Only allocator granule).
+    """
+    from .constraints import generate_constraints
+
+    cons = generate_constraints(int(params.get("num_vars", 120)),
+                                int(params.get("num_constraints", 200)),
+                                seed=seed)
+    res = andersen_pull(cons, counter=ctx.counter,
+                        chunk_size=int(strategy.get("chunk_size", 1024)))
+    summary = {"rounds": res.rounds, "edges_added": res.edges_added,
+               "propagation_sweeps": res.propagation_sweeps,
+               "total_facts": res.total_facts()}
+    return (res.pts.bits, res.pts.counts()), summary

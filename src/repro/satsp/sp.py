@@ -38,7 +38,8 @@ from .factorgraph import FactorGraph, exclude_one, _ZERO
 from .formula import CNF
 from .walksat import walksat
 
-__all__ = ["SPConfig", "SPResult", "survey_iteration", "run_sp", "solve_sp"]
+__all__ = ["SPConfig", "SPResult", "survey_iteration", "run_sp",
+           "solve_sp", "serve_job"]
 
 
 @dataclass
@@ -240,3 +241,35 @@ def solve_sp(cnf: CNF, cfg: SPConfig | None = None,
     return SPResult(status, assignment if status == "SAT" else None, ctr,
                     phases, iters, fixed_by_sp,
                     solved_by_walksat=int(residual.num_vars))
+
+
+# ------------------------------------------------------------------ #
+# repro.serve adapter                                                #
+# ------------------------------------------------------------------ #
+
+def serve_job(params, strategy, seed, ctx):
+    """Job adapter for :mod:`repro.serve` (``algorithm="sp"``).
+
+    Builds a random K-SAT formula (``num_vars``, ``k``, ``ratio``) from
+    ``seed`` and runs the full SP + WalkSAT pipeline.  ``strategy``
+    keys map onto :class:`SPConfig`: ``cached`` (the paper's GPU edge
+    cache; False models the multicore baseline), ``damping``, ``eps``,
+    ``decimation_fraction``, ``require_convergence``.
+    """
+    from .formula import random_ksat
+
+    cnf = random_ksat(int(params.get("num_vars", 200)),
+                      int(params.get("k", 3)),
+                      ratio=float(params.get("ratio", 3.2)),
+                      seed=seed)
+    kwargs = {k: strategy[k] for k in
+              ("cached", "damping", "eps", "decimation_fraction",
+               "require_convergence") if k in strategy}
+    res = solve_sp(cnf, SPConfig(seed=seed, **kwargs), counter=ctx.counter)
+    assignment = (res.assignment if res.assignment is not None
+                  else np.zeros(0, dtype=np.int64))
+    summary = {"status": res.status, "phases": res.phases,
+               "total_iterations": res.total_iterations,
+               "fixed_by_sp": res.fixed_by_sp,
+               "solved_by_walksat": res.solved_by_walksat}
+    return (assignment,), summary

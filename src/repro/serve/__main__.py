@@ -1,0 +1,96 @@
+"""CLI: run a JSON job file through the scheduler.
+
+Usage::
+
+    python -m repro.serve JOBS.json [--workers N] [--policy fifo|sjf]
+                          [--checkpoint-dir DIR] [--streams N]
+                          [--out RESULTS.json]
+
+The job file is either a JSON list of job-spec dicts or an object with
+a ``"jobs"`` list (see ``examples/serve_jobs.json``).  Exit status is 1
+when any job ends ``failed`` after exhausting its retries.
+
+``--streams N`` additionally prices the batch on the virtual GPU as if
+its jobs space-shared one device through N CUDA-style streams
+(:mod:`repro.vgpu.streams`) and prints the modeled makespan against
+serial execution — the multi-tenancy what-if the wall-clock numbers
+cannot show.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .jobs import JobSpec
+from .scheduler import POLICIES, Scheduler
+
+
+def load_jobs(path: str | Path) -> list[JobSpec]:
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict):
+        data = data["jobs"]
+    return [JobSpec.from_dict(d) for d in data]
+
+
+def _stream_report(report, num_streams: int) -> str:
+    from ..vgpu.streams import schedule_streams
+
+    counters = {r.spec.name: r.result.counter
+                for r in report.records if r.result is not None}
+    if not counters:
+        return "streams: no completed jobs to price"
+    sched = schedule_streams(counters, num_streams=num_streams,
+                             policy=report.policy
+                             if report.policy in ("fifo", "sjf") else "fifo")
+    lines = [f"virtual streams ({num_streams}): modeled makespan "
+             f"{sched.makespan:.6f}s vs serial {sched.serial_seconds:.6f}s "
+             f"({sched.speedup_vs_serial:.2f}x)"]
+    for slot in sched.slots:
+        lines.append(f"  stream {slot.stream}: {slot.job} "
+                     f"[{slot.start:.6f}s, {slot.end:.6f}s)")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run a batch of morph jobs through the scheduler.")
+    ap.add_argument("jobfile", help="JSON job file (list or {'jobs': [...]})")
+    ap.add_argument("--workers", type=int, default=0,
+                    help="worker processes (0 = inline, deterministic)")
+    ap.add_argument("--policy", choices=POLICIES, default="fifo")
+    ap.add_argument("--checkpoint-dir", default=None,
+                    help="spool directory for round-state checkpoints")
+    ap.add_argument("--streams", type=int, default=0,
+                    help="also price the batch on N virtual GPU streams")
+    ap.add_argument("--out", default=None,
+                    help="write the batch report as JSON to this path")
+    args = ap.parse_args(argv)
+
+    specs = load_jobs(args.jobfile)
+    sched = Scheduler(workers=args.workers, policy=args.policy,
+                      checkpoint_dir=args.checkpoint_dir)
+    report = sched.run_batch(specs)
+
+    print(report.table())
+    print(f"\n{len(report.records)} jobs, policy={report.policy}, "
+          f"workers={report.workers}, wall {report.wall_s:.3f}s, "
+          f"mean queue wait {report.mean_queue_wait_s():.3f}s")
+    for rec in report.failed:
+        for msg in rec.failures:
+            print(f"FAILED {rec.spec.name}: {msg}", file=sys.stderr)
+
+    if args.streams > 0:
+        print()
+        print(_stream_report(report, args.streams))
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(report.to_dict(), indent=2))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Durable round-state checkpoints for schedulable morph jobs.
+
+A timed-out or killed job should resume from its last completed round,
+not restart from scratch.  The engine side of that contract lives in
+:class:`repro.core.engine.EngineCheckpoint` (round counter, morph
+statistics, :class:`~repro.core.counters.OpCounter`, RNG state, and a
+caller payload captured at a consistent between-rounds point); this
+module makes those checkpoints *durable* across process boundaries and
+crashes:
+
+* :func:`dumps_state` / :func:`loads_state` — byte-level round-trip
+  (pickle; every field of an engine checkpoint is plain data);
+* :class:`CheckpointStore` — one file per job under a spool directory,
+  written atomically (temp file + ``os.replace``) so a worker killed
+  mid-write can never leave a truncated checkpoint where the next
+  attempt would trip over it.  A corrupt or unreadable file is deleted
+  on load and reported as "no checkpoint" — the job falls back to a
+  clean restart, mirroring the corrupt-cache discipline in
+  ``benchmarks/harness.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+__all__ = ["CheckpointStore", "dumps_state", "loads_state"]
+
+
+def dumps_state(state: object) -> bytes:
+    """Serialize a checkpoint payload to bytes."""
+    return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_state(data: bytes) -> object:
+    """Inverse of :func:`dumps_state`."""
+    return pickle.loads(data)
+
+
+class CheckpointStore:
+    """One durable checkpoint slot per job name, under ``root``."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, job_name: str) -> Path:
+        safe = "".join(c if (c.isalnum() or c in "-_.") else "_"
+                       for c in job_name)
+        return self.root / f"{safe}.ckpt"
+
+    def save(self, job_name: str, state: object) -> Path:
+        """Atomically replace ``job_name``'s checkpoint with ``state``."""
+        path = self.path(job_name)
+        tmp = path.with_suffix(".ckpt.tmp")
+        tmp.write_bytes(dumps_state(state))
+        os.replace(tmp, path)
+        return path
+
+    def load(self, job_name: str) -> object | None:
+        """The latest checkpoint, or ``None`` (corrupt files are removed
+        so they cannot poison every later attempt)."""
+        path = self.path(job_name)
+        if not path.exists():
+            return None
+        try:
+            return loads_state(path.read_bytes())
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, OSError):
+            path.unlink(missing_ok=True)
+            return None
+
+    def clear(self, job_name: str) -> None:
+        """Drop ``job_name``'s checkpoint (called after a clean finish)."""
+        self.path(job_name).unlink(missing_ok=True)
+
+    def clear_all(self) -> None:
+        for p in self.root.glob("*.ckpt"):
+            p.unlink(missing_ok=True)

@@ -1,0 +1,131 @@
+"""Deterministic fault injection for the serving layer.
+
+Production queues are tested by killing and delaying their workers; a
+*reproduction* has the luxury of doing that deterministically.  A
+:class:`FaultPlan` travels inside a :class:`~repro.serve.jobs.JobSpec`
+(it is plain data, JSON- and pickle-able), and the worker materializes
+it into a :class:`FaultInjector` for each attempt.  The injector is
+installed with :func:`activate` for the dynamic extent of the attempt —
+the same registry discipline as :mod:`repro.vgpu.instrument` — and the
+job runner consults :func:`current_injector` at the two hook sites:
+
+* **job start** (every algorithm), and
+* **round boundaries** (jobs driven through
+  :func:`repro.core.engine.run_morph_rounds`, whose ``round_hook`` is
+  the injection site), which is what lets a kill land *between* two
+  checkpoints.
+
+``kind="kill"`` raises :class:`FaultInjected`; ``kind="delay"`` sleeps
+``delay_s`` wall-clock seconds (modeling a job stuck on an external
+resource — a host transfer, a cold cache, an I/O stall) and continues.
+Both fire only on the attempt numbers listed in ``attempts``, so a test
+can kill attempt 1 and let the retry through.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["FaultInjected", "FaultPlan", "FaultInjector",
+           "current_injector", "activate", "maybe_activate"]
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a ``kill`` fault; treated as a retryable job failure."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic fault schedule for one job.
+
+    ``attempts`` lists the 1-based attempt numbers the fault fires on
+    (default: the first attempt only, so the retry succeeds).
+    ``at_round`` of ``None`` fires at job start; a positive value fires
+    at the top of that engine round (engine-driven jobs only — drivers
+    without round hooks never reach round-granular sites).
+    """
+
+    kind: str = "kill"                    # "kill" | "delay"
+    attempts: tuple[int, ...] = (1,)
+    at_round: int | None = None
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("kill", "delay"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        object.__setattr__(self, "attempts", tuple(int(a) for a in self.attempts))
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "attempts": list(self.attempts),
+                "at_round": self.at_round, "delay_s": self.delay_s}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        return cls(kind=d.get("kind", "kill"),
+                   attempts=tuple(d.get("attempts", (1,))),
+                   at_round=d.get("at_round"),
+                   delay_s=float(d.get("delay_s", 0.0)))
+
+
+@dataclass
+class FaultInjector:
+    """A :class:`FaultPlan` bound to one attempt of one job."""
+
+    plan: FaultPlan
+    attempt: int = 1
+    #: how many times this injector actually fired (kill or delay)
+    fired: int = field(default=0)
+
+    def _due(self, round_: int | None) -> bool:
+        if self.attempt not in self.plan.attempts:
+            return False
+        return self.plan.at_round == round_
+
+    def _fire(self) -> None:
+        self.fired += 1
+        if self.plan.kind == "delay":
+            time.sleep(self.plan.delay_s)
+            return
+        raise FaultInjected(
+            f"injected kill (attempt {self.attempt}, "
+            f"round {self.plan.at_round})")
+
+    def on_job_start(self) -> None:
+        if self._due(None):
+            self._fire()
+
+    def on_round(self, round_: int) -> None:
+        if self._due(round_):
+            self._fire()
+
+
+_current: FaultInjector | None = None
+
+
+def current_injector() -> FaultInjector | None:
+    """The innermost active fault injector, or ``None``."""
+    return _current
+
+
+@contextmanager
+def activate(injector: FaultInjector):
+    """Install ``injector`` for the dynamic extent of the ``with`` block."""
+    global _current
+    prev = _current
+    _current = injector
+    try:
+        yield injector
+    finally:
+        _current = prev
+
+
+@contextmanager
+def maybe_activate(injector: FaultInjector | None):
+    """Like :func:`activate` but a no-op when ``injector`` is ``None``."""
+    if injector is None:
+        yield None
+        return
+    with activate(injector):
+        yield injector

@@ -1,0 +1,300 @@
+"""Job specifications and the algorithm registry for ``repro.serve``.
+
+A :class:`JobSpec` is everything needed to (re)run one morph job
+anywhere: the algorithm name, the input-generator parameters, the
+strategy configuration (conflict scheme, barrier model, worklist and
+addition/deletion choices — whatever the driver understands), the seed,
+and the robustness envelope (timeout, retries, checkpoint cadence,
+fault plan).  Specs are plain data — JSON-able for the
+``python -m repro.serve`` CLI and picklable for the worker pool — and
+deterministic: the same spec always produces byte-identical results,
+which is what makes retry-after-failure and cross-worker-count
+comparisons meaningful.
+
+The registry maps algorithm names to *adapters*.  Each driver module
+owns its adapter (``serve_job`` in :mod:`repro.dmr.refine`,
+:mod:`repro.meshing.gpu_insert`, :mod:`repro.satsp.sp`,
+:mod:`repro.pta.andersen`, :mod:`repro.mst.boruvka_gpu`); the generic
+engine's speculative-recoloring workload lives here because it is the
+one that exercises the engine's checkpoint hooks end to end.  An
+adapter has the uniform signature::
+
+    adapter(params, strategy, seed, ctx) -> (arrays, summary)
+
+building its input deterministically from ``params`` + ``seed``,
+running the driver with ``ctx.counter``, and returning the result
+arrays folded into the job digest plus a scalar summary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..core.counters import OpCounter
+from ..core.engine import EngineCheckpoint, MorphPlan, run_morph_rounds
+from .faults import FaultPlan
+
+__all__ = ["JobSpec", "JobContext", "JobResult", "JobError",
+           "digest_arrays", "get_adapter", "known_algorithms",
+           "estimate_cost"]
+
+
+class JobError(RuntimeError):
+    """A job failed in a way the pool may retry."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable morph job (plain, picklable, JSON-able data)."""
+
+    name: str
+    algorithm: str                      # dmr|insertion|sp|pta|mst|engine
+    params: dict = field(default_factory=dict)
+    strategy: dict = field(default_factory=dict)
+    seed: int = 0
+    #: cooperative wall-clock budget per attempt (None = unlimited)
+    timeout_s: float | None = None
+    #: additional attempts after the first failure
+    retries: int = 2
+    #: first retry backoff; doubles per attempt (exponential backoff)
+    backoff_s: float = 0.05
+    #: checkpoint cadence in engine rounds (0 = no checkpoints)
+    checkpoint_every: int = 0
+    fault: FaultPlan | None = None
+
+    def to_dict(self) -> dict:
+        d = {"name": self.name, "algorithm": self.algorithm,
+             "params": dict(self.params), "strategy": dict(self.strategy),
+             "seed": self.seed, "timeout_s": self.timeout_s,
+             "retries": self.retries, "backoff_s": self.backoff_s,
+             "checkpoint_every": self.checkpoint_every}
+        if self.fault is not None:
+            d["fault"] = self.fault.to_dict()
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "JobSpec":
+        fault = d.get("fault")
+        return cls(
+            name=d["name"], algorithm=d["algorithm"],
+            params=dict(d.get("params", {})),
+            strategy=dict(d.get("strategy", {})),
+            seed=int(d.get("seed", 0)),
+            timeout_s=d.get("timeout_s"),
+            retries=int(d.get("retries", 2)),
+            backoff_s=float(d.get("backoff_s", 0.05)),
+            checkpoint_every=int(d.get("checkpoint_every", 0)),
+            fault=FaultPlan.from_dict(fault) if fault else None,
+        )
+
+
+@dataclass
+class JobContext:
+    """Runtime facilities the job runner hands to an adapter."""
+
+    counter: OpCounter
+    #: called at the top of each engine round (faults + deadline)
+    round_hook: Callable[[int], None] | None = None
+    checkpoint_every: int = 0
+    #: persist an :class:`EngineCheckpoint` (None when checkpointing off)
+    save_checkpoint: Callable[[object], None] | None = None
+    #: the checkpoint this attempt resumes from, if any
+    resume_state: object | None = None
+
+
+@dataclass
+class JobResult:
+    """What a completed job sends back across the process boundary."""
+
+    name: str
+    algorithm: str
+    digest: str
+    summary: dict
+    counter: OpCounter
+
+    def counter_totals(self) -> dict:
+        return {kname: (ks.launches, ks.items, ks.aborted, ks.word_reads,
+                        ks.word_writes, ks.atomics, ks.barriers,
+                        ks.issued_lane_steps, ks.useful_lane_steps)
+                for kname, ks in self.counter}
+
+
+def digest_arrays(arrays, extra: Mapping | None = None) -> str:
+    """SHA-256 over result arrays (dtype+shape+bytes) and scalar facts.
+
+    This is the byte-identity witness: two runs of the same spec — on
+    different worker counts, or interrupted and resumed — must produce
+    the same digest.
+    """
+    h = hashlib.sha256()
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    if extra:
+        h.update(json.dumps(dict(extra), sort_keys=True,
+                            default=repr).encode())
+    return h.hexdigest()
+
+
+# ------------------------------------------------------------------ #
+# The generic-engine job: speculative graph recoloring                #
+# ------------------------------------------------------------------ #
+
+class _ServeColoring:
+    """Greedy coloring by speculative recoloring (the §10 "other morph
+    algorithms" workload), structured so its whole mutable state is one
+    array — which is exactly what a checkpoint payload wants to be."""
+
+    def __init__(self, graph, colors: np.ndarray) -> None:
+        self.g = graph
+        self.colors = colors
+
+    def conflicted(self):
+        out = []
+        for v in range(self.g.num_nodes):
+            if any(self.colors[u] == self.colors[v]
+                   for u in self.g.neighbors(v)):
+                out.append(v)
+        return out
+
+    def plan(self, items, rng):
+        for v in items:
+            yield MorphPlan(item=v,
+                            claims=[v] + self.g.neighbors(v).tolist())
+
+    def apply(self, plan) -> bool:
+        v = plan.item
+        used = {int(self.colors[u]) for u in self.g.neighbors(v)}
+        c = 0
+        while c in used:
+            c += 1
+        self.colors[v] = c
+        return True
+
+
+def _engine_job(params: Mapping, strategy: Mapping, seed: int,
+                ctx: JobContext):
+    """Adapter for ``algorithm="engine"``: recolor a random graph via
+    :func:`repro.core.engine.run_morph_rounds`, with full
+    checkpoint/resume support."""
+    from ..graphgen import random_graph, undirected_edges_to_csr
+
+    num_nodes = int(params.get("num_nodes", 200))
+    num_edges = int(params.get("num_edges", 3 * num_nodes))
+    n, src, dst, w = random_graph(num_nodes, num_edges, seed=seed)
+    g = undirected_edges_to_csr(n, src, dst, w)
+
+    colors = np.random.default_rng(seed).integers(0, 2, size=n)
+    work = _ServeColoring(g, colors)
+    rng = np.random.default_rng(seed + 1)
+
+    resume = ctx.resume_state
+    if resume is not None:
+        if not isinstance(resume, EngineCheckpoint):
+            raise JobError("engine job got a foreign checkpoint payload")
+        work.colors = np.array(resume.payload, dtype=colors.dtype)
+
+    stats = run_morph_rounds(
+        work.conflicted, work.plan, work.apply, lambda: g.num_nodes,
+        rng=rng, counter=ctx.counter,
+        kernel="serve.recolor",
+        ensure_progress=bool(strategy.get("ensure_progress", True)),
+        max_rounds=int(params.get("max_rounds", 1_000_000)),
+        round_hook=ctx.round_hook,
+        checkpoint_every=ctx.checkpoint_every,
+        snapshot=lambda: work.colors.copy(),
+        on_checkpoint=ctx.save_checkpoint,
+        resume=resume,
+    )
+    summary = {"rounds": stats.rounds, "applied": stats.applied,
+               "aborted": stats.aborted,
+               "num_colors": int(work.colors.max()) + 1,
+               "proper": not work.conflicted()}
+    return (work.colors,), summary
+
+
+# ------------------------------------------------------------------ #
+# Registry                                                            #
+# ------------------------------------------------------------------ #
+
+_REGISTRY: dict[str, Callable] | None = None
+
+
+def _build_registry() -> dict[str, Callable]:
+    # Lazy: importing six driver stacks is not free, and worker
+    # processes should only pay for it once, on first use.  Import the
+    # adapters directly — some packages re-export a function under the
+    # same name as its submodule (e.g. ``repro.mst.boruvka_gpu``), which
+    # shadows attribute-style module access.
+    from ..dmr.refine import serve_job as _dmr_job
+    from ..meshing.gpu_insert import serve_job as _ins_job
+    from ..mst.boruvka_gpu import serve_job as _mst_job
+    from ..pta.andersen import serve_job as _pta_job
+    from ..satsp.sp import serve_job as _sp_job
+    return {
+        "dmr": _dmr_job,
+        "insertion": _ins_job,
+        "sp": _sp_job,
+        "pta": _pta_job,
+        "mst": _mst_job,
+        "engine": _engine_job,
+    }
+
+
+def get_adapter(algorithm: str) -> Callable:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build_registry()
+    try:
+        return _REGISTRY[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; known: "
+            f"{', '.join(sorted(_REGISTRY))}") from None
+
+
+def known_algorithms() -> list[str]:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build_registry()
+    return sorted(_REGISTRY)
+
+
+#: static per-work-item weights for the SJF cost proxy, by algorithm
+_COST_WEIGHTS = {"dmr": 30.0, "insertion": 20.0, "sp": 60.0,
+                 "pta": 0.15, "mst": 8.0, "engine": 5.0}
+
+
+def estimate_cost(spec: JobSpec) -> float:
+    """A static, deterministic service-time proxy for SJF ordering.
+
+    Derived only from the spec's input-size parameters (never from a
+    run), so scheduling decisions are reproducible and available before
+    any work starts.  Units are arbitrary; only the ordering matters.
+    """
+    p = spec.params
+    if spec.algorithm == "dmr":
+        return _COST_WEIGHTS["dmr"] * float(p.get("n_triangles", 600))
+    if spec.algorithm == "insertion":
+        return _COST_WEIGHTS["insertion"] * (
+            float(p.get("n_triangles", 300)) + 40.0 * float(p.get("n_points", 12)))
+    if spec.algorithm == "sp":
+        ratio = float(p.get("ratio", 3.2))
+        return _COST_WEIGHTS["sp"] * float(p.get("num_vars", 200)) * ratio
+    if spec.algorithm == "pta":
+        return _COST_WEIGHTS["pta"] * (
+            float(p.get("num_vars", 120)) * float(p.get("num_constraints", 200)))
+    if spec.algorithm == "mst":
+        return _COST_WEIGHTS["mst"] * float(
+            p.get("num_edges", 4 * p.get("num_nodes", 300)))
+    if spec.algorithm == "engine":
+        n = float(p.get("num_nodes", 200))
+        return _COST_WEIGHTS["engine"] * (n + float(p.get("num_edges", 3 * n)))
+    return float("inf")

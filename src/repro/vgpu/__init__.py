@@ -16,6 +16,8 @@ from .sync import BarrierKind, BarrierModel, FENCE, HIERARCHICAL, NAIVE_ATOMIC
 from .memory import ChunkAllocator, ChunkList, DeviceAllocator, RecyclePool
 from .kernel import KernelLauncher, spmd_launch
 from .costmodel import CostModel, ModeledTimes
+from .streams import (StreamSchedule, StreamSlot, VirtualStream,
+                      partition_streams, schedule_streams, stream_time)
 from .instrument import (SanitizerHooks, TracerHooks, activate,
                          activate_tracer, current_sanitizer, current_tracer,
                          maybe_activate, maybe_activate_tracer, record_read,
@@ -27,6 +29,8 @@ __all__ = [
     "BarrierKind", "BarrierModel", "FENCE", "HIERARCHICAL", "NAIVE_ATOMIC",
     "ChunkAllocator", "ChunkList", "DeviceAllocator", "RecyclePool",
     "KernelLauncher", "spmd_launch", "CostModel", "ModeledTimes", "atomics",
+    "VirtualStream", "StreamSlot", "StreamSchedule", "partition_streams",
+    "schedule_streams", "stream_time",
     "SanitizerHooks", "activate", "current_sanitizer", "maybe_activate",
     "record_read", "record_write", "instrument",
     "TracerHooks", "activate_tracer", "current_tracer",

@@ -1,0 +1,208 @@
+"""Virtual CUDA-style streams: space-sharing the simulated device.
+
+The paper's experiments give each morph algorithm the whole Tesla C2070;
+between global barriers most SMs idle whenever a round has little work
+(the late-round tail of Fig. 2's parallelism profile).  A *serving*
+workload — many independent morph jobs — can instead space-share the
+device: each concurrently resident job runs in a virtual stream that
+owns a slice of the SMs, so one job's launch overhead, barrier
+crossings and critical-path waves overlap another job's compute.
+
+The model here follows how concurrent kernels actually behave on a
+space-partitioned device:
+
+* **SMs partition.**  A stream with ``k`` of the device's ``S`` SMs
+  prices compute throughput over ``k * cores_per_sm`` lanes, and its
+  share of global-memory bandwidth scales to ``k / S`` (DRAM channels
+  serve the whole chip; a fair-share split is the standard model).
+* **Serial costs do not shrink.**  Kernel-launch cycles, per-crossing
+  barrier latency and the critical-path lane (one thread's serial
+  work) cost the same on 3 SMs as on 14 — this is exactly why
+  multi-tenancy wins: those costs overlap across streams instead of
+  serializing on an idle device.
+* **Atomic units are shared.**  The L2 atomic units are a chip-wide
+  resource, so atomic serialization is *not* scaled down with the
+  partition (a stream cannot get more than the whole device's atomic
+  throughput, and contention across streams is not modeled).
+
+:func:`schedule_streams` then assigns a batch of per-job
+:class:`~repro.core.counters.OpCounter` tallies to ``num_streams``
+streams (FIFO arrival order, shortest-job-first, or longest-processing-
+time) and reports per-stream times and the multi-tenant makespan — the
+shared-device analogue of the Fig. 6-11 single-job modeled numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+from ..core.counters import OpCounter
+from .costmodel import CostModel
+from .device import GpuSpec, TESLA_C2070
+from .sync import BarrierModel, HIERARCHICAL
+
+__all__ = ["VirtualStream", "StreamSlot", "StreamSchedule",
+           "partition_streams", "stream_time", "schedule_streams"]
+
+
+@dataclass(frozen=True)
+class VirtualStream:
+    """One SM partition of a :class:`GpuSpec`, usable as a sub-device."""
+
+    index: int
+    num_sms: int
+    #: the partitioned sub-device (reduced SMs, fair-share bandwidth)
+    spec: GpuSpec
+    #: the undivided device this stream was carved from
+    parent: GpuSpec
+
+    @property
+    def sm_fraction(self) -> float:
+        return self.num_sms / self.parent.num_sms
+
+
+def partition_streams(spec: GpuSpec = TESLA_C2070,
+                      num_streams: int = 2) -> list[VirtualStream]:
+    """Split ``spec``'s SMs into ``num_streams`` near-equal partitions.
+
+    Remainder SMs go to the lowest-indexed streams, so e.g. the C2070's
+    14 SMs split 4 ways as 4/4/3/3.  ``num_streams`` must not exceed
+    the SM count (an SM is the partition granule, as in MPS/MIG-style
+    space sharing).
+    """
+    if not 1 <= num_streams <= spec.num_sms:
+        raise ValueError(
+            f"num_streams must be in [1, {spec.num_sms}] for {spec.name}")
+    base, extra = divmod(spec.num_sms, num_streams)
+    streams = []
+    for i in range(num_streams):
+        k = base + (1 if i < extra else 0)
+        sub = replace(
+            spec,
+            name=f"{spec.name} [stream {i}: {k}/{spec.num_sms} SMs]",
+            num_sms=k,
+            words_per_clock=spec.words_per_clock * k / spec.num_sms,
+        )
+        streams.append(VirtualStream(index=i, num_sms=k, spec=sub,
+                                     parent=spec))
+    return streams
+
+
+def stream_time(stream: VirtualStream, counter: OpCounter, *,
+                barrier: BarrierModel = HIERARCHICAL) -> float:
+    """Modeled seconds for one job's counts executed inside ``stream``.
+
+    Delegates to :meth:`CostModel.gpu_time` with the stream's
+    partitioned sub-spec, so per-kernel geometry scalars recorded in
+    the counter (``cfg_blocks``, ``barrier_kind``, ``fp_scale``) are
+    honored exactly as on the whole device.
+    """
+    return CostModel(gpu=stream.spec, barrier=barrier).gpu_time(counter)
+
+
+@dataclass(frozen=True)
+class StreamSlot:
+    """One job's residency on one stream: ``[start, end)`` seconds."""
+
+    job: str
+    stream: int
+    start: float
+    end: float
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class StreamSchedule:
+    """A placement of a job batch onto virtual streams."""
+
+    streams: tuple[VirtualStream, ...]
+    slots: tuple[StreamSlot, ...]
+    #: total busy seconds per stream, by stream index
+    stream_seconds: tuple[float, ...]
+    #: whole-device sequential baseline (one job at a time, all SMs)
+    serial_seconds: float
+    policy: str
+
+    @property
+    def makespan(self) -> float:
+        """Seconds until the last stream drains — the multi-tenant
+        completion time for the whole batch."""
+        return max(self.stream_seconds) if self.stream_seconds else 0.0
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """How much sooner the batch finishes than running each job
+        alone on the undivided device, one after another."""
+        return self.serial_seconds / self.makespan if self.makespan else 1.0
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Mean seconds jobs wait before their stream slot starts."""
+        if not self.slots:
+            return 0.0
+        return sum(s.start for s in self.slots) / len(self.slots)
+
+    def job_seconds(self) -> dict[str, float]:
+        return {s.job: s.seconds for s in self.slots}
+
+
+def _as_pairs(counters) -> list[tuple[str, OpCounter]]:
+    if isinstance(counters, Mapping):
+        return list(counters.items())
+    return list(counters)
+
+
+def schedule_streams(
+    counters: Mapping[str, OpCounter] | Sequence[tuple[str, OpCounter]],
+    *,
+    spec: GpuSpec = TESLA_C2070,
+    num_streams: int = 2,
+    policy: str = "fifo",
+    barrier: BarrierModel = HIERARCHICAL,
+) -> StreamSchedule:
+    """Place a batch of jobs onto ``num_streams`` virtual streams.
+
+    ``counters`` maps job name to that job's recorded
+    :class:`OpCounter` (insertion order = arrival order).  Policies:
+
+    * ``"fifo"`` — arrival order; each job goes to the stream that
+      frees up first (greedy list scheduling);
+    * ``"sjf"`` — shortest job first (by whole-device modeled time),
+      minimizing mean queue delay;
+    * ``"lpt"`` — longest processing time first, the classic makespan
+      heuristic.
+
+    Per-job residency time is priced *on the stream it lands on* (a
+    job on a 3-SM partition runs longer than on 4 SMs), so uneven
+    partitions are modeled faithfully.
+    """
+    if policy not in ("fifo", "sjf", "lpt"):
+        raise ValueError(f"unknown stream policy {policy!r}")
+    pairs = _as_pairs(counters)
+    streams = partition_streams(spec, num_streams)
+    whole = CostModel(gpu=spec, barrier=barrier)
+    base_time = {name: whole.gpu_time(ctr) for name, ctr in pairs}
+    if policy == "sjf":
+        pairs = sorted(pairs, key=lambda kv: (base_time[kv[0]], kv[0]))
+    elif policy == "lpt":
+        pairs = sorted(pairs, key=lambda kv: (-base_time[kv[0]], kv[0]))
+
+    loads = [0.0] * num_streams
+    slots: list[StreamSlot] = []
+    for name, ctr in pairs:
+        i = min(range(num_streams), key=lambda j: (loads[j], j))
+        dur = stream_time(streams[i], ctr, barrier=barrier)
+        slots.append(StreamSlot(job=name, stream=i, start=loads[i],
+                                end=loads[i] + dur))
+        loads[i] += dur
+    return StreamSchedule(
+        streams=tuple(streams),
+        slots=tuple(slots),
+        stream_seconds=tuple(loads),
+        serial_seconds=sum(base_time.values()),
+        policy=policy,
+    )

@@ -153,3 +153,86 @@ class TestOpCounter:
         for n in (5, 3, 8):
             c.launch("k", items=n)
         assert c.kernel("k").per_launch_items == [5, 3, 8]
+
+
+class TestMergeAlgebra:
+    """`+` / `merge` algebra the serving layer leans on: counters cross
+    process boundaries (pickle) and per-attempt counters are summed."""
+
+    def _ctr(self, seed):
+        c = OpCounter()
+        c.launch(f"k{seed % 2}", items=10 * seed, aborted=seed,
+                 word_reads=100 * seed, word_writes=40 * seed,
+                 atomics=3 * seed, barriers=seed)
+        c.bump("rounds", seed)
+        return c
+
+    def test_add_matches_merge(self):
+        a, b = self._ctr(1), self._ctr(2)
+        via_add = a + b
+        via_merge = OpCounter()
+        via_merge.merge(self._ctr(1))
+        via_merge.merge(self._ctr(2))
+        assert {k: (s.items, s.launches, s.word_reads)
+                for k, s in via_add} == \
+            {k: (s.items, s.launches, s.word_reads) for k, s in via_merge}
+
+    def test_add_identity_with_zero(self):
+        # sum() starts from int 0; __radd__ must absorb it.
+        a = self._ctr(3)
+        total = sum([self._ctr(3)], start=0)
+        assert {k: s.items for k, s in total} == {k: s.items for k, s in a}
+
+    def test_add_does_not_mutate_operands(self):
+        a, b = self._ctr(1), self._ctr(2)
+        before = {k: s.items for k, s in a}
+        _ = a + b
+        assert {k: s.items for k, s in a} == before
+
+    def test_sum_of_many(self):
+        total = sum(self._ctr(i) for i in range(1, 5))
+        assert total.total_items() == sum(10 * i for i in range(1, 5))
+
+    def test_copy_is_independent(self):
+        a = self._ctr(2)
+        c = a.copy()
+        c.launch("k0", items=99)
+        assert a.kernel("k0").items != c.kernel("k0").items
+
+    def test_kernelstats_add(self):
+        a, b = KernelStats(), KernelStats()
+        a.items, a.launches = 5, 1
+        b.items, b.launches = 7, 2
+        s = a + b
+        assert (s.items, s.launches) == (12, 3)
+        assert (a.items, b.items) == (5, 7)
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        a = self._ctr(4)
+        back = pickle.loads(pickle.dumps(a, pickle.HIGHEST_PROTOCOL))
+        assert {k: (s.items, s.launches, s.aborted, s.word_reads,
+                    s.word_writes, s.atomics, s.barriers)
+                for k, s in back} == \
+            {k: (s.items, s.launches, s.aborted, s.word_reads,
+                 s.word_writes, s.atomics, s.barriers) for k, s in a}
+        assert back.scalars == a.scalars
+
+
+class TestMorphStatsMerge:
+    def test_merge_and_add(self):
+        from repro.core.engine import MorphStats
+
+        a = MorphStats(rounds=2, applied=8, aborted=2, parallelism=[4, 4])
+        b = MorphStats(rounds=3, applied=5, parallelism=[2, 2, 1])
+        s = a + b
+        assert (s.rounds, s.applied, s.aborted) == (5, 13, 2)
+        assert s.parallelism == [4, 4, 2, 2, 1]
+        assert a.rounds == 2 and a.parallelism == [4, 4]  # operands untouched
+
+    def test_sum_identity(self):
+        from repro.core.engine import MorphStats
+
+        s = sum([MorphStats(rounds=1), MorphStats(rounds=4)])
+        assert s.rounds == 5

@@ -132,3 +132,51 @@ def test_solve_sp_stable(mode):
     else:
         assert np.array_equal(a.assignment, b.assignment)
     _assert_same_counters(a.counter, b.counter, mode)
+
+
+# --------------------------------------------------------------------- #
+# Serving: results must be independent of worker count and of           #
+# interruption (checkpoint/resume).                                     #
+# --------------------------------------------------------------------- #
+
+def _serve_batch():
+    from repro.serve import JobSpec
+
+    return [
+        JobSpec(name="dmr", algorithm="dmr",
+                params={"n_triangles": 120}, seed=31),
+        JobSpec(name="mst", algorithm="mst",
+                params={"num_nodes": 80, "num_edges": 260}, seed=31),
+        JobSpec(name="engine", algorithm="engine",
+                params={"num_nodes": 60}, seed=31),
+    ]
+
+
+def _serve_fingerprint(records):
+    return {r.spec.name: (r.result.digest, r.result.counter_totals())
+            for r in records}
+
+
+def test_serve_results_stable_across_worker_counts():
+    from repro.serve import submit_batch
+
+    base = _serve_fingerprint(submit_batch(_serve_batch(), workers=0))
+    for workers in (1, 2, 4):
+        got = _serve_fingerprint(
+            submit_batch(_serve_batch(), workers=workers))
+        assert got == base, f"workers={workers}"
+
+
+def test_serve_checkpoint_resume_matches_uninterrupted(tmp_path):
+    from repro.serve import FaultPlan, JobSpec, run_job
+
+    kw = dict(algorithm="engine", params={"num_nodes": 90}, seed=47,
+              retries=1, backoff_s=0.0, checkpoint_every=2)
+    clean = run_job(JobSpec(name="clean", **kw))
+    killed = run_job(
+        JobSpec(name="killed", **kw,
+                fault=FaultPlan(kind="kill", attempts=(1,), at_round=5)),
+        checkpoint_dir=str(tmp_path))
+    assert killed.ok and killed.resumed_round > 0
+    assert killed.result.digest == clean.result.digest
+    assert killed.result.counter_totals() == clean.result.counter_totals()

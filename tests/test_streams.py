@@ -1,0 +1,104 @@
+"""Virtual CUDA-style streams: partitioning, pricing, and placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.counters import OpCounter
+from repro.vgpu import TESLA_C2070
+from repro.vgpu.costmodel import CostModel
+from repro.vgpu.streams import (partition_streams, schedule_streams,
+                                stream_time)
+
+
+def _job_counter(items=2000, reads=60_000, writes=20_000, barriers=4,
+                 launches=3) -> OpCounter:
+    ctr = OpCounter()
+    per = max(1, launches)
+    for _ in range(per):
+        ctr.launch("kernel", items=items // per, word_reads=reads // per,
+                   word_writes=writes // per, barriers=barriers // per)
+    return ctr
+
+
+class TestPartition:
+    def test_sms_are_conserved(self):
+        for k in (1, 2, 3, 4, 7, 14):
+            streams = partition_streams(TESLA_C2070, k)
+            assert sum(s.num_sms for s in streams) == TESLA_C2070.num_sms
+            assert len(streams) == k
+
+    def test_c2070_four_way_split(self):
+        streams = partition_streams(TESLA_C2070, 4)
+        assert [s.num_sms for s in streams] == [4, 4, 3, 3]
+
+    def test_too_many_streams_rejected(self):
+        with pytest.raises(ValueError):
+            partition_streams(TESLA_C2070, TESLA_C2070.num_sms + 1)
+
+    def test_single_stream_is_whole_device(self):
+        (s,) = partition_streams(TESLA_C2070, 1)
+        assert s.num_sms == TESLA_C2070.num_sms
+        assert s.spec.words_per_clock == TESLA_C2070.words_per_clock
+
+
+class TestStreamTime:
+    def test_partition_never_beats_whole_device_on_throughput_work(self):
+        # Throughput-bound work (no barriers): a quarter of the chip can
+        # not be faster than the whole chip.
+        ctr = _job_counter(items=200_000, reads=4_000_000,
+                          writes=1_000_000, barriers=0)
+        whole = CostModel().gpu_time(ctr)
+        for stream in partition_streams(TESLA_C2070, 4):
+            assert stream_time(stream, ctr) >= whole - 1e-12
+
+    def test_full_partition_matches_whole_device(self):
+        ctr = _job_counter()
+        (s,) = partition_streams(TESLA_C2070, 1)
+        assert stream_time(s, ctr) == pytest.approx(
+            CostModel().gpu_time(ctr))
+
+
+class TestSchedule:
+    def _batch(self, n=6):
+        return {f"job{i}": _job_counter(items=500 * (i + 1),
+                                        reads=20_000 * (i + 1))
+                for i in range(n)}
+
+    def test_makespan_at_most_serial(self):
+        for streams in (2, 4):
+            sched = schedule_streams(self._batch(), num_streams=streams)
+            assert sched.makespan <= sched.serial_seconds + 1e-12
+            assert sched.speedup_vs_serial >= 1.0
+
+    def test_all_jobs_placed_exactly_once(self):
+        batch = self._batch()
+        sched = schedule_streams(batch, num_streams=3)
+        assert sorted(slot.job for slot in sched.slots) == sorted(batch)
+
+    def test_slots_on_one_stream_do_not_overlap(self):
+        sched = schedule_streams(self._batch(8), num_streams=2)
+        by_stream = {}
+        for slot in sched.slots:
+            by_stream.setdefault(slot.stream, []).append(slot)
+        for slots in by_stream.values():
+            slots.sort(key=lambda s: s.start)
+            for a, b in zip(slots, slots[1:]):
+                assert a.end <= b.start + 1e-12
+
+    def test_sjf_mean_queue_delay_at_most_fifo(self):
+        batch = self._batch(8)
+        fifo = schedule_streams(batch, num_streams=2, policy="fifo")
+        sjf = schedule_streams(batch, num_streams=2, policy="sjf")
+        assert sjf.mean_queue_delay <= fifo.mean_queue_delay + 1e-12
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_streams(self._batch(), num_streams=2, policy="random")
+
+    def test_deterministic(self):
+        batch = self._batch()
+        a = schedule_streams(batch, num_streams=3, policy="sjf")
+        b = schedule_streams(batch, num_streams=3, policy="sjf")
+        assert [(s.job, s.stream, s.start, s.end) for s in a.slots] == \
+            [(s.job, s.stream, s.start, s.end) for s in b.slots]

@@ -18,7 +18,8 @@ from .worklist import CentralWorklist, LocalWorklists
 from .addition import (GrowthStrategy, HostOnly, KernelHost, KernelOnly,
                        OutOfDeviceMemory, PreAllocation)
 from .deletion import ExplicitDeletion, MarkingDeletion, RecycleDeletion
-from .adaptive import AdaptiveConfig, FeedbackAdaptiveConfig, FixedConfig
+from .adaptive import (AdaptiveConfig, FeedbackAdaptiveConfig, FixedConfig,
+                       adaptive_from_dict)
 from .layout import (bfs_permutation, invert_permutation, layout_quality,
                      swap_scan_permutation)
 from .divergence import divergence_gain, partition_active, warp_efficiency
@@ -35,6 +36,7 @@ __all__ = [
     "OutOfDeviceMemory", "PreAllocation",
     "ExplicitDeletion", "MarkingDeletion", "RecycleDeletion",
     "AdaptiveConfig", "FeedbackAdaptiveConfig", "FixedConfig",
+    "adaptive_from_dict",
     "bfs_permutation", "invert_permutation", "layout_quality",
     "swap_scan_permutation",
     "divergence_gain", "partition_active", "warp_efficiency",

@@ -15,10 +15,12 @@ to reduce the abort ratio").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from ..vgpu.device import GpuSpec, LaunchConfig, TESLA_C2070
 
-__all__ = ["AdaptiveConfig", "FeedbackAdaptiveConfig", "FixedConfig"]
+__all__ = ["AdaptiveConfig", "FeedbackAdaptiveConfig", "FixedConfig",
+           "adaptive_from_dict"]
 
 
 @dataclass
@@ -29,6 +31,10 @@ class FixedConfig:
 
     def next(self, iteration: int, **_feedback) -> LaunchConfig:
         return self.config
+
+    def to_dict(self) -> dict:
+        return {"kind": "fixed", "blocks": self.config.blocks,
+                "tpb": self.config.threads_per_block}
 
 
 @dataclass
@@ -44,6 +50,11 @@ class AdaptiveConfig:
         tpb = self.initial_tpb << min(iteration, self.doubling_rounds)
         tpb = min(tpb, self.spec.max_threads_per_block)
         return LaunchConfig(blocks=self.blocks, threads_per_block=tpb)
+
+    def to_dict(self) -> dict:
+        return {"kind": "doubling", "initial_tpb": self.initial_tpb,
+                "doubling_rounds": self.doubling_rounds,
+                "blocks": self.blocks}
 
 
 @dataclass
@@ -81,3 +92,34 @@ class FeedbackAdaptiveConfig:
                          self.spec.warp_size * (-(-needed // self.spec.warp_size)))
             tpb = min(tpb, min(needed, self.spec.max_threads_per_block))
         return LaunchConfig(blocks=self.blocks, threads_per_block=tpb)
+
+    def to_dict(self) -> dict:
+        return {"kind": "feedback", "initial_tpb": self.initial_tpb,
+                "blocks": self.blocks, "low_water": self.low_water,
+                "high_water": self.high_water}
+
+
+def adaptive_from_dict(d: Mapping):
+    """Build an adaptive-geometry policy from its canonical dict encoding.
+
+    The encoding is what :mod:`repro.tune` puts in a strategy dict under
+    the ``"adaptive"`` key (and what the ``to_dict`` methods above
+    emit): ``kind`` selects the policy, the remaining keys parameterize
+    it.  Unknown kinds raise ``ValueError`` so half-applied tuner
+    configs fail loudly.
+    """
+    kind = d.get("kind", "doubling")
+    if kind == "fixed":
+        return FixedConfig(LaunchConfig(blocks=int(d.get("blocks", 112)),
+                                        threads_per_block=int(d.get("tpb", 256))))
+    if kind == "doubling":
+        return AdaptiveConfig(initial_tpb=int(d.get("initial_tpb", 64)),
+                              doubling_rounds=int(d.get("doubling_rounds", 3)),
+                              blocks=int(d.get("blocks", 112)))
+    if kind == "feedback":
+        return FeedbackAdaptiveConfig(initial_tpb=int(d.get("initial_tpb", 64)),
+                                      blocks=int(d.get("blocks", 112)),
+                                      low_water=float(d.get("low_water", 0.1)),
+                                      high_water=float(d.get("high_water", 0.4)))
+    raise ValueError(f"unknown adaptive kind {kind!r}; "
+                     "known: fixed, doubling, feedback")

@@ -583,18 +583,28 @@ def serve_job(params, strategy, seed, ctx):
     :class:`DMRConfig`: ``conflict``, ``barrier`` (``"fence"`` /
     ``"hierarchical"`` / ``"naive"``), ``layout_opt``,
     ``local_worklists``, ``sort_work``, ``precision``,
-    ``growth_factor``, ``priority``.
+    ``growth_factor``, ``priority``, ``min_chunk``, and ``adaptive``
+    (a :func:`repro.core.adaptive.adaptive_from_dict` encoding).
+    ``strategy="auto"`` (or ``tuned: true`` in the dict) substitutes
+    the :mod:`repro.tune` cached/tuned configuration; unknown keys
+    raise ``ValueError``.
     """
+    from ..core.adaptive import adaptive_from_dict
     from ..meshing.generate import random_mesh
+    from ..tune import resolve_strategy
     from ..vgpu.sync import HIERARCHICAL, NAIVE_ATOMIC
 
+    strategy = resolve_strategy("dmr", params, strategy)
     barriers = {"fence": FENCE, "hierarchical": HIERARCHICAL,
                 "naive": NAIVE_ATOMIC}
     kwargs = {k: strategy[k] for k in
               ("conflict", "layout_opt", "local_worklists", "sort_work",
-               "precision", "growth_factor", "priority") if k in strategy}
+               "precision", "growth_factor", "priority", "min_chunk")
+              if k in strategy}
     if "barrier" in strategy:
         kwargs["barrier"] = barriers[strategy["barrier"]]
+    if "adaptive" in strategy:
+        kwargs["adaptive"] = adaptive_from_dict(strategy["adaptive"])
     cfg = DMRConfig(seed=seed, **kwargs)
     mesh = random_mesh(int(params.get("n_triangles", 600)), seed=seed)
     res = refine_gpu(mesh, cfg, counter=ctx.counter)

@@ -197,10 +197,14 @@ def serve_job(params, strategy, seed, ctx):
     ``params["n_points"]`` points drawn uniformly from the interior box
     ``[0.3, 0.7]^2`` (meshes from :func:`~repro.meshing.generate.\
 random_mesh` cover the unit square, so the box stays inside the hull).
-    ``strategy`` understands ``max_points_per_round``.
+    ``strategy`` understands ``max_points_per_round``;
+    ``strategy="auto"`` substitutes the :mod:`repro.tune`
+    cached/tuned configuration, and unknown keys raise ``ValueError``.
     """
+    from ..tune import resolve_strategy
     from .generate import random_mesh
 
+    strategy = resolve_strategy("insertion", params, strategy)
     mesh = random_mesh(int(params.get("n_triangles", 300)), seed=seed)
     rng = np.random.default_rng(seed + 1)
     n_points = int(params.get("n_points", 12))

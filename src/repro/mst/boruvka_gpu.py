@@ -52,9 +52,16 @@ class MSTResult:
 
 def boruvka_gpu(num_nodes: int, src: np.ndarray, dst: np.ndarray,
                 weight: np.ndarray, *, counter: OpCounter | None = None,
-                max_rounds: int = 128, sanitizer=None,
+                max_rounds: int = 128, barrier=None, sanitizer=None,
                 tracer=None) -> MSTResult:
     """Component-based Boruvka over a once-per-edge undirected list.
+
+    ``barrier`` (an optional :class:`repro.vgpu.sync.BarrierModel`)
+    selects the §7.3 global-barrier scheme the per-kernel round
+    barriers are priced under; ``None`` keeps the cost model's default.
+    The chosen edges are identical either way — only the modeled time
+    moves, which is what makes the barrier a tunable axis for
+    :mod:`repro.tune`.
 
     ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
     around the solve; the per-round atomic-min reductions report to it.
@@ -65,13 +72,16 @@ def boruvka_gpu(num_nodes: int, src: np.ndarray, dst: np.ndarray,
         with maybe_activate_tracer(tracer):
             with trace_span("mst.boruvka_gpu", cat="driver"):
                 return _boruvka_impl(num_nodes, src, dst, weight,
-                                     counter=counter, max_rounds=max_rounds)
+                                     counter=counter, max_rounds=max_rounds,
+                                     barrier=barrier)
 
 
 def _boruvka_impl(num_nodes: int, src: np.ndarray, dst: np.ndarray,
                   weight: np.ndarray, *, counter: OpCounter | None,
-                  max_rounds: int) -> MSTResult:
+                  max_rounds: int, barrier=None) -> MSTResult:
     ctr = counter or OpCounter()
+    if barrier is not None:
+        ctr.scalars["barrier_kind"] = barrier.index
     m = src.size
     if weight.size and int(weight.max()) >= (1 << 31):
         raise ValueError("weights must fit in 31 bits for edge keys")
@@ -173,15 +183,24 @@ def serve_job(params, strategy, seed, ctx):
 
     Builds a random graph (``num_nodes``, ``num_edges``) from ``seed``
     and contracts it with the component-based Boruvka kernels.
-    ``strategy`` is currently unused (the four kernels have no
-    configuration knobs).
+    ``strategy`` understands ``barrier`` (``"fence"`` /
+    ``"hierarchical"`` / ``"naive"`` — the §7.3 pricing of the
+    per-kernel round barriers); ``strategy="auto"`` substitutes the
+    :mod:`repro.tune` cached/tuned configuration, and unknown keys
+    raise ``ValueError``.
     """
     from ..graphgen import random_graph
+    from ..tune import resolve_strategy
+    from ..vgpu.sync import FENCE, HIERARCHICAL, NAIVE_ATOMIC
 
+    strategy = resolve_strategy("mst", params, strategy)
+    barriers = {"fence": FENCE, "hierarchical": HIERARCHICAL,
+                "naive": NAIVE_ATOMIC}
+    barrier = barriers[strategy["barrier"]] if "barrier" in strategy else None
     num_nodes = int(params.get("num_nodes", 300))
     num_edges = int(params.get("num_edges", 4 * num_nodes))
     n, src, dst, w = random_graph(num_nodes, num_edges, seed=seed)
-    res = boruvka_gpu(n, src, dst, w, counter=ctx.counter)
+    res = boruvka_gpu(n, src, dst, w, counter=ctx.counter, barrier=barrier)
     summary = {"total_weight": int(res.total_weight), "rounds": res.rounds,
                "num_components": res.num_components,
                "mst_edges": int(res.mst_edges.size)}

@@ -194,18 +194,29 @@ def serve_job(params, strategy, seed, ctx):
     """Job adapter for :mod:`repro.serve` (``algorithm="pta"``).
 
     Synthesizes a C-like constraint set (``num_vars``,
-    ``num_constraints``) from ``seed`` and solves it with the
-    pull-based analysis.  ``strategy`` understands ``chunk_size`` (the
-    Kernel-Only allocator granule).
+    ``num_constraints``) from ``seed`` and solves it.  ``strategy``
+    understands ``chunk_size`` (the Kernel-Only allocator granule) and
+    ``variant`` (``"pull"``, the paper's choice, or ``"push"`` — the
+    §6.4 alternative; both reach the identical fixed point).
+    ``strategy="auto"`` substitutes the :mod:`repro.tune`
+    cached/tuned configuration, and unknown keys raise ``ValueError``.
     """
+    from ..tune import resolve_strategy
     from .constraints import generate_constraints
 
+    strategy = resolve_strategy("pta", params, strategy)
     cons = generate_constraints(int(params.get("num_vars", 120)),
                                 int(params.get("num_constraints", 200)),
                                 seed=seed)
-    res = andersen_pull(cons, counter=ctx.counter,
-                        chunk_size=int(strategy.get("chunk_size", 1024)))
+    variant = strategy.get("variant", "pull")
+    if variant == "pull":
+        solver = andersen_pull
+    else:
+        from .push import andersen_push
+        solver = andersen_push
+    res = solver(cons, counter=ctx.counter,
+                 chunk_size=int(strategy.get("chunk_size", 1024)))
     summary = {"rounds": res.rounds, "edges_added": res.edges_added,
                "propagation_sweeps": res.propagation_sweeps,
-               "total_facts": res.total_facts()}
+               "total_facts": res.total_facts(), "variant": variant}
     return (res.pts.bits, res.pts.counts()), summary

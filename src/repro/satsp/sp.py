@@ -255,9 +255,13 @@ def serve_job(params, strategy, seed, ctx):
     keys map onto :class:`SPConfig`: ``cached`` (the paper's GPU edge
     cache; False models the multicore baseline), ``damping``, ``eps``,
     ``decimation_fraction``, ``require_convergence``.
+    ``strategy="auto"`` substitutes the :mod:`repro.tune`
+    cached/tuned configuration, and unknown keys raise ``ValueError``.
     """
+    from ..tune import resolve_strategy
     from .formula import random_ksat
 
+    strategy = resolve_strategy("sp", params, strategy)
     cnf = random_ksat(int(params.get("num_vars", 200)),
                       int(params.get("k", 3)),
                       ratio=float(params.get("ratio", 3.2)),

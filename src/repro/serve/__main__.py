@@ -3,8 +3,8 @@
 Usage::
 
     python -m repro.serve JOBS.json [--workers N] [--policy fifo|sjf]
-                          [--checkpoint-dir DIR] [--streams N]
-                          [--out RESULTS.json]
+                          [--checkpoint-dir DIR] [--tune-cache PATH]
+                          [--streams N] [--out RESULTS.json]
 
 The job file is either a JSON list of job-spec dicts or an object with
 a ``"jobs"`` list (see ``examples/serve_jobs.json``).  Exit status is 1
@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -64,6 +65,9 @@ def main(argv=None) -> int:
     ap.add_argument("--policy", choices=POLICIES, default="fifo")
     ap.add_argument("--checkpoint-dir", default=None,
                     help="spool directory for round-state checkpoints")
+    ap.add_argument("--tune-cache", default=None,
+                    help="repro.tune cache whose measured costs refine "
+                         "the SJF proxy (and back strategy='auto' jobs)")
     ap.add_argument("--streams", type=int, default=0,
                     help="also price the batch on N virtual GPU streams")
     ap.add_argument("--out", default=None,
@@ -71,8 +75,13 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     specs = load_jobs(args.jobfile)
+    if args.tune_cache:
+        # Adapters resolve strategy="auto" through the ambient cache
+        # path; workers inherit the environment.
+        os.environ["REPRO_TUNE_CACHE"] = args.tune_cache
     sched = Scheduler(workers=args.workers, policy=args.policy,
-                      checkpoint_dir=args.checkpoint_dir)
+                      checkpoint_dir=args.checkpoint_dir,
+                      tune_cache=args.tune_cache)
     report = sched.run_batch(specs)
 
     print(report.table())

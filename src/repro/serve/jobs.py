@@ -55,7 +55,10 @@ class JobSpec:
     name: str
     algorithm: str                      # dmr|insertion|sp|pta|mst|engine
     params: dict = field(default_factory=dict)
-    strategy: dict = field(default_factory=dict)
+    #: strategy dict for the driver, the string ``"auto"`` (substitute
+    #: the :mod:`repro.tune` cached/tuned config), or a dict carrying
+    #: ``tuned: true`` plus per-axis overrides
+    strategy: dict | str = field(default_factory=dict)
     seed: int = 0
     #: cooperative wall-clock budget per attempt (None = unlimited)
     timeout_s: float | None = None
@@ -68,8 +71,10 @@ class JobSpec:
     fault: FaultPlan | None = None
 
     def to_dict(self) -> dict:
+        strategy = (self.strategy if isinstance(self.strategy, str)
+                    else dict(self.strategy))
         d = {"name": self.name, "algorithm": self.algorithm,
-             "params": dict(self.params), "strategy": dict(self.strategy),
+             "params": dict(self.params), "strategy": strategy,
              "seed": self.seed, "timeout_s": self.timeout_s,
              "retries": self.retries, "backoff_s": self.backoff_s,
              "checkpoint_every": self.checkpoint_every}
@@ -80,10 +85,12 @@ class JobSpec:
     @classmethod
     def from_dict(cls, d: Mapping) -> "JobSpec":
         fault = d.get("fault")
+        strategy = d.get("strategy", {})
         return cls(
             name=d["name"], algorithm=d["algorithm"],
             params=dict(d.get("params", {})),
-            strategy=dict(d.get("strategy", {})),
+            strategy=strategy if isinstance(strategy, str)
+            else dict(strategy),
             seed=int(d.get("seed", 0)),
             timeout_s=d.get("timeout_s"),
             retries=int(d.get("retries", 2)),
@@ -185,7 +192,9 @@ def _engine_job(params: Mapping, strategy: Mapping, seed: int,
     :func:`repro.core.engine.run_morph_rounds`, with full
     checkpoint/resume support."""
     from ..graphgen import random_graph, undirected_edges_to_csr
+    from ..tune import resolve_strategy
 
+    strategy = resolve_strategy("engine", params, strategy)
     num_nodes = int(params.get("num_nodes", 200))
     num_edges = int(params.get("num_edges", 3 * num_nodes))
     n, src, dst, w = random_graph(num_nodes, num_edges, seed=seed)
@@ -272,13 +281,29 @@ _COST_WEIGHTS = {"dmr": 30.0, "insertion": 20.0, "sp": 60.0,
                  "pta": 0.15, "mst": 8.0, "engine": 5.0}
 
 
-def estimate_cost(spec: JobSpec) -> float:
-    """A static, deterministic service-time proxy for SJF ordering.
+def estimate_cost(spec: JobSpec, cache=None) -> float:
+    """A deterministic service-time proxy for SJF ordering.
 
-    Derived only from the spec's input-size parameters (never from a
-    run), so scheduling decisions are reproducible and available before
-    any work starts.  Units are arbitrary; only the ordering matters.
+    By default the proxy is static — derived only from the spec's
+    input-size parameters (never from a run), so scheduling decisions
+    are reproducible and available before any work starts.  Units are
+    arbitrary; only the ordering matters.
+
+    When a :class:`repro.tune.TuningCache` is supplied and holds an
+    entry for this job's ``(algorithm, input fingerprint)``, the
+    entry's *measured* proxy — the tuned config's modeled GPU time —
+    replaces the static guess.  It is reported on a microsecond axis,
+    which keeps measured entries in the same ballpark as the hand-set
+    static weights so mixed (cached + uncached) batches still order
+    sanely; jobs without a cache entry fall back unchanged.
     """
+    if cache is not None:
+        from ..tune import fingerprint_params
+
+        record = cache.get(spec.algorithm,
+                           fingerprint_params(spec.algorithm, spec.params))
+        if record is not None:
+            return record.modeled_gpu_s * 1e6
     p = spec.params
     if spec.algorithm == "dmr":
         return _COST_WEIGHTS["dmr"] * float(p.get("n_triangles", 600))

@@ -4,11 +4,13 @@ The scheduler decides *order*; the pool (:mod:`repro.serve.pool`)
 decides *execution*.  Two classic policies are provided:
 
 * ``fifo`` — jobs run in submission order;
-* ``sjf`` — shortest-job-first by the static cost proxy
+* ``sjf`` — shortest-job-first by the cost proxy
   (:func:`repro.serve.jobs.estimate_cost`), a stable sort so equal-cost
   jobs keep their submission order.  SJF minimizes mean queue wait when
   the proxy is honest — the classic result the serving literature
-  builds on — and because the proxy is derived from the spec alone, the
+  builds on — and because the proxy is derived from the spec alone
+  (plus, optionally, the persistent :mod:`repro.tune` cache, whose
+  entries carry *measured* modeled times for tuned inputs), the
   schedule is deterministic and explainable.
 
 Observability rides along: when given a :class:`repro.obs.Tracer`, the
@@ -25,6 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from .jobs import JobSpec, estimate_cost
 from .pool import JobRecord, submit_batch
@@ -34,13 +37,19 @@ __all__ = ["BatchReport", "Scheduler", "order_jobs"]
 POLICIES = ("fifo", "sjf")
 
 
-def order_jobs(specs, policy: str = "fifo") -> list[JobSpec]:
-    """Return ``specs`` in the order ``policy`` would start them."""
+def order_jobs(specs, policy: str = "fifo", *,
+               tune_cache=None) -> list[JobSpec]:
+    """Return ``specs`` in the order ``policy`` would start them.
+
+    ``tune_cache`` (a :class:`repro.tune.TuningCache`) lets SJF rank
+    jobs by their tuning-cache measured cost where one exists.
+    """
     specs = list(specs)
     if policy == "fifo":
         return specs
     if policy == "sjf":
-        return sorted(specs, key=estimate_cost)   # stable: ties keep FIFO
+        # stable: ties keep FIFO order
+        return sorted(specs, key=lambda s: estimate_cost(s, tune_cache))
     raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
 
 
@@ -110,11 +119,23 @@ class Scheduler:
     checkpoint_dir: str | None = None
     #: optional :class:`repro.obs.Tracer`; spans/gauges are emitted per job
     tracer: object | None = None
+    #: optional :class:`repro.tune.TuningCache` (or a path to one) whose
+    #: measured costs refine the SJF proxy for tuned inputs
+    tune_cache: object | None = None
     #: most recent batch, for callers that want to poke at records
     last_report: BatchReport | None = field(default=None, repr=False)
 
+    def _tune_cache(self):
+        if self.tune_cache is None or not isinstance(self.tune_cache,
+                                                     (str, Path)):
+            return self.tune_cache
+        from ..tune import TuningCache
+
+        return TuningCache(self.tune_cache)
+
     def run_batch(self, specs) -> BatchReport:
-        ordered = order_jobs(specs, self.policy)
+        ordered = order_jobs(specs, self.policy,
+                             tune_cache=self._tune_cache())
         if self.tracer is not None:
             self.tracer.on_gauge("serve.queue_depth", len(ordered))
         t0 = time.monotonic()

@@ -1,0 +1,47 @@
+"""repro.tune — strategy-space autotuning for the morph drivers.
+
+The paper's §7 mechanisms (addition/deletion strategies, barrier
+implementations, adaptive kernel geometry, worklist organization,
+push vs pull) are all modeled behind driver kwargs, and the paper
+itself observes that the best combination is input-dependent.  This
+package searches that space automatically:
+
+* :mod:`repro.tune.space` — one declarative :class:`ConfigSpace` per
+  algorithm (axes, grids, validity constraints, the paper default);
+* :mod:`repro.tune.search` — deterministic engines (exhaustive,
+  successive halving over shrinking proxy inputs, greedy coordinate
+  descent) that score candidates by running the real drivers and
+  ranking by :class:`~repro.vgpu.costmodel.CostModel` modeled GPU time;
+* :mod:`repro.tune.cache` — a persistent, atomically written JSON
+  cache (schema ``repro.tune/1``) keyed by
+  ``(algorithm, input fingerprint, cost-model version)``;
+* :mod:`repro.tune.auto` — ``strategy="auto"`` for the serving layer.
+
+Usage::
+
+    from repro.tune import TuningCache, tune
+
+    result = tune("dmr", {"n_triangles": 600}, budget=12,
+                  cache=TuningCache("tune.json"))
+    print(result.table())          # ranked configs, best first
+    print(result.best.config)      # replayable as JobSpec.strategy
+
+or from the shell: ``python -m repro.tune --algo dmr --budget 12``.
+See ``docs/TUNING.md``.
+"""
+
+from .auto import AUTO_BUDGET, AUTO_SEED, resolve_strategy
+from .cache import (TUNE_SCHEMA, TuneRecord, TuningCache,
+                    default_cache_path, fingerprint_params)
+from .search import (ENGINES, Trial, TuneResult, proxy_params,
+                     score_config, tune)
+from .space import Axis, ConfigSpace, config_key, known_spaces, space_for
+
+__all__ = [
+    "Axis", "ConfigSpace", "space_for", "known_spaces", "config_key",
+    "Trial", "TuneResult", "tune", "score_config", "proxy_params",
+    "ENGINES",
+    "TuneRecord", "TuningCache", "TUNE_SCHEMA", "fingerprint_params",
+    "default_cache_path",
+    "resolve_strategy", "AUTO_BUDGET", "AUTO_SEED",
+]

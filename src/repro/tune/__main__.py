@@ -1,0 +1,90 @@
+"""CLI: tune one algorithm's strategy space and persist the result.
+
+Usage::
+
+    python -m repro.tune --algo dmr [--params '{"n_triangles": 600}']
+                         [--budget 16] [--seed 0]
+                         [--engine auto|exhaustive|halving|coordinate]
+                         [--cache PATH] [--force] [--expect-hit]
+                         [--trace OUT.json]
+
+Prints the ranked final-scale trials (best first) and writes the
+winning config to the tuning cache, where ``strategy="auto"`` jobs and
+the SJF scheduler will find it.  ``--expect-hit`` turns a cache miss
+into exit status 1 — the CI smoke uses it to prove the second
+invocation short-circuits.  ``--trace`` exports the tuning run's
+per-trial spans as a Chrome trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from .cache import TuningCache, default_cache_path
+from .search import ENGINES, tune
+from .space import config_key, known_spaces, space_for
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.tune",
+        description="Autotune one algorithm's strategy space.")
+    ap.add_argument("--algo", required=True, choices=known_spaces())
+    ap.add_argument("--params", default="{}",
+                    help="input-generator parameters as JSON "
+                         "(default: the adapter's defaults)")
+    ap.add_argument("--budget", type=int, default=16,
+                    help="max candidate configs to consider")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--engine", default="auto",
+                    choices=("auto", *sorted(ENGINES)))
+    ap.add_argument("--cache", default=None,
+                    help=f"tuning cache path (default {default_cache_path()})")
+    ap.add_argument("--force", action="store_true",
+                    help="re-tune even when the cache already has an entry")
+    ap.add_argument("--expect-hit", action="store_true",
+                    help="exit 1 unless the result came from the cache")
+    ap.add_argument("--trace", default=None,
+                    help="write the tuning run's Chrome trace to this path")
+    args = ap.parse_args(argv)
+
+    params = json.loads(args.params)
+    cache = TuningCache(args.cache)
+    tracer = None
+    if args.trace:
+        from ..obs import Tracer
+        tracer = Tracer()
+
+    space = space_for(args.algo)
+    result = tune(args.algo, params, budget=args.budget, seed=args.seed,
+                  engine=args.engine, cache=cache, force=args.force,
+                  tracer=tracer)
+
+    if result.cache_hit:
+        print(f"[tune] cache hit {result.best.key} "
+              f"(engine={result.best.engine}, "
+              f"trials={result.best.trials})")
+    else:
+        print(f"[tune] {args.algo}: searched {space.size()} legal configs "
+              f"with engine={result.engine}, budget={args.budget}, "
+              f"seed={args.seed} -> {len(result.trials)} trials")
+        print(result.table())
+        print(f"[tune] wrote {cache.path} ({result.best.key})")
+    print(f"[tune] best config: {config_key(result.best.config)}")
+    print(f"[tune] modeled GPU time: "
+          f"{1e3 * result.best.modeled_gpu_s:.3f}ms")
+
+    if tracer is not None and args.trace:
+        from ..obs import write_chrome_trace
+        write_chrome_trace(args.trace, tracer)
+        print(f"[tune] trace written to {args.trace}")
+
+    if args.expect_hit and not result.cache_hit:
+        print("[tune] ERROR: expected a cache hit but tuned from scratch")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""``strategy="auto"`` — the serving-side entry into the autotuner.
+
+Every ``serve_job`` adapter funnels its incoming strategy through
+:func:`resolve_strategy`.  Three shapes are understood:
+
+* a plain dict — validated against the driver's
+  :class:`~repro.tune.space.ConfigSpace` (unknown keys raise, listing
+  the offenders) and passed through;
+* the string ``"auto"`` — replaced by the tuned config for this
+  ``(algorithm, params)`` pair, consulting the persistent cache and
+  running a bounded tuning on a miss;
+* a dict containing ``tuned: true`` — like ``"auto"``, but the
+  remaining keys override individual axes of the tuned config (so a
+  job can say "tuned, but force the fence barrier").
+
+The cache location comes from ``$REPRO_TUNE_CACHE`` (falling back to a
+per-user file); tuning on a miss is deterministic — fixed seed, fixed
+budget — so two workers racing on the same cold cache compute the same
+record and the ``os.replace`` publish makes the race harmless.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .cache import TuningCache, fingerprint_params
+from .search import tune
+from .space import space_for
+
+__all__ = ["resolve_strategy", "AUTO_BUDGET", "AUTO_SEED"]
+
+#: candidate budget for implicit (serving-triggered) tunings
+AUTO_BUDGET = 8
+#: tuning seed for implicit tunings — fixed, so the cache key's config
+#: does not depend on which job primed it
+AUTO_SEED = 0
+
+
+def _wants_auto(strategy) -> bool:
+    if strategy == "auto":
+        return True
+    return isinstance(strategy, Mapping) and bool(strategy.get("tuned"))
+
+
+def resolve_strategy(algorithm: str, params: Mapping, strategy,
+                     *, cache: TuningCache | None = None) -> dict:
+    """Return the concrete, validated strategy dict for one job."""
+    space = space_for(algorithm)
+    if _wants_auto(strategy):
+        overrides = {} if strategy == "auto" else \
+            {k: v for k, v in strategy.items() if k != "tuned"}
+        space.check_strategy(overrides)
+        cache = cache if cache is not None else TuningCache()
+        record = cache.get(algorithm, fingerprint_params(algorithm, params))
+        if record is None:
+            record = tune(algorithm, params, budget=AUTO_BUDGET,
+                          seed=AUTO_SEED, cache=cache).best
+        return {**record.config, **overrides}
+    if not isinstance(strategy, Mapping):
+        raise ValueError(
+            f"{algorithm} strategy must be a dict, 'auto', or a dict "
+            f"with tuned=true; got {strategy!r}")
+    space.check_strategy(strategy)
+    return {k: v for k, v in strategy.items() if k != "tuned"}

@@ -1,0 +1,261 @@
+"""Declarative strategy spaces for the autotuner.
+
+The paper hand-picks a different combination of its Section 7 mechanisms
+per algorithm — addition strategy (§7.1), deletion strategy (§7.2),
+barrier implementation (§7.3), adaptive kernel geometry (§7.4), local vs
+centralized worklists (§7.5), push vs pull propagation (§6.4) — and
+notes more than once that the best choice is input-dependent.  This
+module makes each driver's legal choices *data*: a :class:`ConfigSpace`
+is a set of named :class:`Axis` grids plus validity constraints, and a
+configuration is a plain dict in exactly the encoding
+:class:`repro.serve.jobs.JobSpec` carries as ``strategy`` — so anything
+the tuner emits can be replayed verbatim through the serving layer.
+
+The spaces never import the drivers; they only *describe* them.  The
+driver-side contract is enforced the other way around: every
+``serve_job`` adapter validates its incoming strategy dict against its
+space (:meth:`ConfigSpace.check_strategy`), so a tuner- or user-supplied
+config with unknown keys raises instead of being half-applied.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+__all__ = ["Axis", "ConfigSpace", "space_for", "known_spaces",
+           "config_key"]
+
+#: strategy keys with meaning to the serving/tuning layers themselves,
+#: stripped before a strategy dict reaches a driver
+META_KEYS = frozenset({"tuned"})
+
+
+def config_key(config: Mapping) -> str:
+    """Canonical JSON encoding of a config — the deterministic tiebreak
+    and dict-comparison key used everywhere in the tuner."""
+    return json.dumps(dict(config), sort_keys=True, default=repr)
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One searchable strategy dimension: a name and its legal grid."""
+
+    name: str
+    choices: tuple
+    #: paper section the axis models, for tables and docs
+    paper_ref: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise ValueError(f"axis {self.name!r} has no choices")
+
+
+@dataclass(frozen=True)
+class ConfigSpace:
+    """The legal strategy space of one algorithm's driver."""
+
+    algorithm: str
+    axes: tuple[Axis, ...]
+    #: strategy keys the driver accepts but the tuner does not search
+    #: (e.g. DMR's ``precision`` — changing it changes the *result*, not
+    #: just the schedule, so it is the caller's decision)
+    extra_keys: frozenset = frozenset()
+    #: each constraint returns True when a config is legal
+    constraints: tuple = ()
+    #: the paper's hand-picked default, always a member of the grid
+    default: Mapping = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def axis(self, name: str) -> Axis:
+        for ax in self.axes:
+            if ax.name == name:
+                return ax
+        raise KeyError(f"{self.algorithm} has no axis {name!r}")
+
+    def accepted_keys(self) -> frozenset:
+        return frozenset(ax.name for ax in self.axes) | self.extra_keys
+
+    def size(self) -> int:
+        """Number of *legal* configurations (constraints applied)."""
+        return sum(1 for _ in self.configs())
+
+    def grid_size(self) -> int:
+        """Raw cross-product size, before constraints."""
+        n = 1
+        for ax in self.axes:
+            n *= len(ax.choices)
+        return n
+
+    def configs(self) -> Iterator[dict]:
+        """Every legal configuration, in deterministic lexicographic
+        order over the axis grids (axes in declaration order)."""
+        names = [ax.name for ax in self.axes]
+        for values in itertools.product(*(ax.choices for ax in self.axes)):
+            cfg = dict(zip(names, values))
+            if self.is_legal(cfg):
+                yield cfg
+
+    # ------------------------------------------------------------------ #
+    def is_legal(self, config: Mapping) -> bool:
+        """Membership + constraints, without raising."""
+        try:
+            self.validate(config)
+        except ValueError:
+            return False
+        return True
+
+    def validate(self, config: Mapping) -> None:
+        """Raise ``ValueError`` unless ``config`` assigns every axis a
+        value from its grid and satisfies all constraints."""
+        for ax in self.axes:
+            if ax.name not in config:
+                raise ValueError(
+                    f"{self.algorithm} config is missing axis {ax.name!r}")
+            if not _choice_in(config[ax.name], ax.choices):
+                raise ValueError(
+                    f"{self.algorithm} axis {ax.name!r}: "
+                    f"{config[ax.name]!r} not in grid {ax.choices!r}")
+        unknown = sorted(set(config) - self.accepted_keys())
+        if unknown:
+            raise ValueError(
+                f"{self.algorithm} config has unknown keys: "
+                f"{', '.join(unknown)}")
+        for check in self.constraints:
+            ok, why = check(config)
+            if not ok:
+                raise ValueError(f"{self.algorithm} config illegal: {why}")
+
+    def check_strategy(self, strategy: Mapping) -> None:
+        """Validate a *serving* strategy dict's keys against the driver.
+
+        Unlike :meth:`validate` this allows partial dicts (drivers fill
+        defaults for absent axes) but rejects unknown keys loudly,
+        listing the offenders and the accepted set — the fix for the
+        old silent-kwarg-drop behavior that let a tuner-emitted config
+        be half-applied.
+        """
+        allowed = self.accepted_keys() | META_KEYS
+        unknown = sorted(set(strategy) - allowed)
+        if unknown:
+            raise ValueError(
+                f"{self.algorithm} strategy got unknown keys: "
+                f"{', '.join(repr(k) for k in unknown)}; accepted: "
+                f"{', '.join(sorted(allowed))}")
+
+    def canonical(self, config: Mapping) -> dict:
+        """The canonical (sorted-key, JSON-clean) encoding of a config —
+        what goes into the tuning cache and ``JobSpec.strategy``."""
+        return json.loads(config_key(config))
+
+
+def _choice_in(value, choices) -> bool:
+    # dict-valued choices (adaptive policies) compare structurally
+    return any(config_key({"v": value}) == config_key({"v": c})
+               for c in choices)
+
+
+# ------------------------------------------------------------------ #
+# Per-algorithm spaces                                               #
+# ------------------------------------------------------------------ #
+
+def _dmr_no_unsafe(config) -> tuple[bool, str]:
+    if config.get("conflict") == "2phase-unsafe":
+        return False, ("2-phase marking admits the §7.3 race "
+                       "(repro.analysis flags it); not schedulable")
+    return True, ""
+
+
+_DMR_ADAPTIVES = (
+    {"kind": "doubling", "initial_tpb": 64, "doubling_rounds": 3,
+     "blocks": 112},
+    {"kind": "doubling", "initial_tpb": 128, "doubling_rounds": 2,
+     "blocks": 112},
+    {"kind": "fixed", "tpb": 512, "blocks": 112},
+    {"kind": "fixed", "tpb": 256, "blocks": 56},
+    {"kind": "feedback", "initial_tpb": 64, "blocks": 112,
+     "low_water": 0.1, "high_water": 0.4},
+    {"kind": "feedback", "initial_tpb": 128, "blocks": 56,
+     "low_water": 0.1, "high_water": 0.4},
+)
+
+_DMR_SPACE = ConfigSpace(
+    algorithm="dmr",
+    axes=(
+        # the 2-phase variant is in the grid so the constraint is the
+        # thing that rejects it — validity is part of the space, not of
+        # whoever builds candidate lists
+        Axis("conflict", ("3phase", "locks", "2phase-unsafe"), "§7.3"),
+        Axis("barrier", ("fence", "hierarchical", "naive"), "§7.3"),
+        Axis("layout_opt", (True, False), "§6.1"),
+        Axis("local_worklists", (True, False), "§7.5"),
+        Axis("sort_work", (True, False), "§7.6"),
+        Axis("growth_factor", (1.0, 1.5, 2.0), "§7.1"),
+        Axis("adaptive", _DMR_ADAPTIVES, "§7.4"),
+    ),
+    extra_keys=frozenset({"precision", "priority", "min_chunk"}),
+    constraints=(_dmr_no_unsafe,),
+    default={"conflict": "3phase", "barrier": "fence", "layout_opt": True,
+             "local_worklists": True, "sort_work": True,
+             "growth_factor": 1.5, "adaptive": _DMR_ADAPTIVES[0]},
+)
+
+_INSERTION_SPACE = ConfigSpace(
+    algorithm="insertion",
+    axes=(Axis("max_points_per_round", (64, 256, 1024, 4096), "§9"),),
+    default={"max_points_per_round": 4096},
+)
+
+_SP_SPACE = ConfigSpace(
+    algorithm="sp",
+    axes=(
+        Axis("cached", (True, False), "§8.2"),
+        Axis("damping", (0.0, 0.25, 0.5), "§3"),
+    ),
+    extra_keys=frozenset({"eps", "decimation_fraction",
+                          "require_convergence"}),
+    default={"cached": True, "damping": 0.5},
+)
+
+_PTA_SPACE = ConfigSpace(
+    algorithm="pta",
+    axes=(
+        Axis("variant", ("pull", "push"), "§6.4"),
+        Axis("chunk_size", (256, 512, 1024, 2048, 4096), "§7.1"),
+    ),
+    default={"variant": "pull", "chunk_size": 1024},
+)
+
+_MST_SPACE = ConfigSpace(
+    algorithm="mst",
+    axes=(Axis("barrier", ("fence", "hierarchical", "naive"), "§7.3"),),
+    # the paper's MST numbers predate its Xiao-Feng fence adoption; the
+    # cost model's historical default for un-annotated counters is the
+    # hierarchical barrier, so that is the "paper default" here
+    default={"barrier": "hierarchical"},
+)
+
+_ENGINE_SPACE = ConfigSpace(
+    algorithm="engine",
+    axes=(Axis("ensure_progress", (True,), "§7.3"),),
+    default={"ensure_progress": True},
+)
+
+_SPACES = {s.algorithm: s for s in
+           (_DMR_SPACE, _INSERTION_SPACE, _SP_SPACE, _PTA_SPACE,
+            _MST_SPACE, _ENGINE_SPACE)}
+
+
+def space_for(algorithm: str) -> ConfigSpace:
+    """The registered :class:`ConfigSpace` for one algorithm."""
+    try:
+        return _SPACES[algorithm]
+    except KeyError:
+        raise KeyError(f"no strategy space for {algorithm!r}; known: "
+                       f"{', '.join(sorted(_SPACES))}") from None
+
+
+def known_spaces() -> list[str]:
+    return sorted(_SPACES)

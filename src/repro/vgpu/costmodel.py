@@ -33,7 +33,14 @@ from ..core.counters import OpCounter
 from .device import CpuSpec, GpuSpec, TESLA_C2070, XEON_E7540
 from .sync import BarrierModel, HIERARCHICAL
 
-__all__ = ["CostModel", "ModeledTimes", "GPU_CYCLES_PER_STEP", "CPU_CYCLES_PER_STEP"]
+__all__ = ["CostModel", "ModeledTimes", "GPU_CYCLES_PER_STEP",
+           "CPU_CYCLES_PER_STEP", "COST_MODEL_VERSION"]
+
+#: Bumped whenever the pricing rules or constants change in a way that
+#: invalidates previously modeled times.  :mod:`repro.tune` keys its
+#: persistent tuning cache on this, so stale tunings are re-searched
+#: rather than silently reused against a different cost model.
+COST_MODEL_VERSION = 1
 
 #: Modeled cycles per unit work step on a GPU lane (in-order, dual-issue).
 GPU_CYCLES_PER_STEP = 12.0

@@ -220,6 +220,103 @@ class TestAdaptiveConfigs:
 
 
 # --------------------------------------------------------------------- #
+class TestFeedbackTrajectories:
+    """Grow/shrink decisions across whole abort-ratio trajectories and
+    clamping at the device limits (§7.4's feedback extension)."""
+
+    def test_quiet_storm_quiet_trajectory(self):
+        f = FeedbackAdaptiveConfig(initial_tpb=64, low_water=0.1,
+                                   high_water=0.4)
+        ratios = [0.0, 0.02, 0.05, 0.9, 0.8, 0.0, 0.0]
+        tpbs = [f.next(i, abort_ratio=r).threads_per_block
+                for i, r in enumerate(ratios)]
+        # quiet rounds double, the conflict storm halves, recovery doubles
+        assert tpbs == [64, 128, 256, 128, 64, 128, 256]
+
+    def test_sustained_quiet_clamps_at_device_limit(self):
+        f = FeedbackAdaptiveConfig(initial_tpb=64)
+        limit = f.spec.max_threads_per_block
+        tpbs = [f.next(i, abort_ratio=0.0).threads_per_block
+                for i in range(12)]
+        assert max(tpbs) == limit
+        assert tpbs[-1] == tpbs[-2] == limit    # stays pinned, no wrap
+        assert all(t <= limit for t in tpbs)
+
+    def test_sustained_conflict_floors_at_warp_size(self):
+        f = FeedbackAdaptiveConfig(initial_tpb=512)
+        warp = f.spec.warp_size
+        tpbs = [f.next(i, abort_ratio=1.0).threads_per_block
+                for i in range(10)]
+        assert tpbs[-1] == warp
+        assert all(t >= warp for t in tpbs)
+        # monotone non-increasing under constant pressure
+        assert all(a >= b for a, b in zip(tpbs, tpbs[1:]))
+
+    def test_mid_band_holds_geometry_steady(self):
+        f = FeedbackAdaptiveConfig(initial_tpb=128, low_water=0.1,
+                                   high_water=0.4)
+        tpbs = [f.next(i, abort_ratio=0.25).threads_per_block
+                for i in range(5)]
+        assert tpbs == [128] * 5
+
+    def test_pending_clamp_does_not_corrupt_internal_state(self):
+        f = FeedbackAdaptiveConfig(initial_tpb=256, blocks=10)
+        # a tiny pending round clamps the *launch*, not the policy state
+        cfg = f.next(0, pending=15)
+        assert cfg.threads_per_block == f.spec.warp_size
+        # next quiet round grows from 256, not from the clamped value
+        cfg = f.next(1, abort_ratio=0.0)
+        assert cfg.threads_per_block == 512
+
+    def test_boundary_ratios_are_inclusive_band(self):
+        f = FeedbackAdaptiveConfig(initial_tpb=128, low_water=0.1,
+                                   high_water=0.4)
+        f.next(0)
+        # exactly at the watermarks: neither grow nor shrink
+        assert f.next(1, abort_ratio=0.1).threads_per_block == 128
+        assert f.next(2, abort_ratio=0.4).threads_per_block == 128
+
+    @given(ratios=st.lists(st.floats(0.0, 1.0), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_any_trajectory_stays_within_device_envelope(self, ratios):
+        f = FeedbackAdaptiveConfig(initial_tpb=64)
+        for i, r in enumerate(ratios):
+            cfg = f.next(i, abort_ratio=r)
+            assert f.spec.warp_size <= cfg.threads_per_block \
+                <= f.spec.max_threads_per_block
+            assert cfg.threads_per_block % f.spec.warp_size == 0
+
+
+# --------------------------------------------------------------------- #
+class TestAdaptiveDictEncoding:
+    """The canonical dict encoding repro.tune stores under "adaptive"."""
+
+    def test_round_trip_all_kinds(self):
+        from repro.core import adaptive_from_dict
+        policies = (FixedConfig(LaunchConfig(56, 256)),
+                    AdaptiveConfig(initial_tpb=128, doubling_rounds=2,
+                                   blocks=56),
+                    FeedbackAdaptiveConfig(initial_tpb=64, blocks=112,
+                                           low_water=0.2, high_water=0.5))
+        for policy in policies:
+            again = adaptive_from_dict(policy.to_dict())
+            assert again.to_dict() == policy.to_dict()
+            assert type(again) is type(policy)
+
+    def test_rebuilt_policy_behaves_identically(self):
+        from repro.core import adaptive_from_dict
+        a = AdaptiveConfig(initial_tpb=64, doubling_rounds=3)
+        b = adaptive_from_dict(a.to_dict())
+        for i in range(6):
+            assert a.next(i) == b.next(i)
+
+    def test_unknown_kind_raises(self):
+        from repro.core import adaptive_from_dict
+        with pytest.raises(ValueError, match="unknown adaptive kind"):
+            adaptive_from_dict({"kind": "oracle"})
+
+
+# --------------------------------------------------------------------- #
 def ring_graph(n):
     src = np.arange(n)
     return edges_to_csr(n, np.concatenate([src, (src + 1) % n]),

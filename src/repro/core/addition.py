@@ -25,15 +25,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import OutOfDeviceMemory
 from ..vgpu.instrument import trace_gauge
 from ..vgpu.memory import ChunkAllocator, DeviceAllocator
 
 __all__ = ["OutOfDeviceMemory", "GrowthStrategy", "PreAllocation", "HostOnly",
            "KernelHost", "KernelOnly"]
 
-
-class OutOfDeviceMemory(RuntimeError):
-    """Raised when a fixed pre-allocation is exhausted."""
+# ``OutOfDeviceMemory`` used to be defined here; it now lives in
+# :mod:`repro.errors` as part of the typed DeviceFault hierarchy.  The
+# re-export above is the deprecation alias — ``repro.core.addition.
+# OutOfDeviceMemory`` stays importable and is the *same* class.
 
 
 @dataclass
@@ -69,7 +71,8 @@ class PreAllocation(GrowthStrategy):
     def ensure(self, arr: np.ndarray, needed: int, fill=None) -> np.ndarray:
         if needed > arr.shape[0]:
             raise OutOfDeviceMemory(
-                f"pre-allocated {arr.shape[0]} rows, {needed} required")
+                f"pre-allocated {arr.shape[0]} rows, {needed} required",
+                requested=int(needed), available=int(arr.shape[0]))
         self.stats.wasted_slots = int(arr.shape[0] - needed)
         return arr
 

@@ -26,6 +26,9 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..errors import EngineStalled, MaxRoundsExceeded
+from ..resilience.policy import launch_ok
+from ..resilience.watchdog import StallLadder
 from ..vgpu.instrument import current_sanitizer, trace_gauge, trace_span
 from .conflict import three_phase_mark
 from .counters import OpCounter
@@ -98,6 +101,7 @@ class EngineCheckpoint:
     rng_state: dict
     payload: object = None
     stalled: int = 0
+    escalation: int = 0
 
 
 def run_morph_rounds(
@@ -116,6 +120,7 @@ def run_morph_rounds(
     snapshot: Callable[[], object] | None = None,
     on_checkpoint: Callable[[EngineCheckpoint], None] | None = None,
     resume: EngineCheckpoint | None = None,
+    resilience=None,
 ) -> MorphStats:
     """Drive plan/mark/apply rounds until ``active()`` is empty.
 
@@ -143,9 +148,22 @@ def run_morph_rounds(
       ``resume.payload`` first.  The resumed run is byte-identical to
       the uninterrupted one.
 
-    Raises ``RuntimeError`` if ``max_rounds`` is exceeded or if a round
-    with pending plans makes no progress twice in a row (a livelock that
-    ``ensure_progress`` should normally preclude).
+    Stall handling (see :mod:`repro.resilience.watchdog`): when a round
+    with pending plans makes no progress twice in a row, the engine
+    escalates through a seeded ladder — re-randomize conflict
+    priorities, shrink the batch, serialize the worklist — and only
+    raises the typed :class:`repro.errors.EngineStalled` when every
+    level stays winless.  The ladder's RNG is private (derived from the
+    escalation seed, never the main ``rng``), so runs that never stall
+    are byte-identical to what they always were.  Exceeding
+    ``max_rounds`` raises :class:`repro.errors.MaxRoundsExceeded`.
+    Both are ``RuntimeError`` subclasses.
+
+    ``resilience`` (opt-in, a :class:`repro.resilience.Resilience`)
+    absorbs transient :class:`repro.errors.KernelAborted` faults at
+    round boundaries by re-issuing the round (up to the policy's retry
+    budget) and supplies the ladder's configuration; without it, an
+    injected abort propagates typed.
     """
     rng = rng or np.random.default_rng(0)
     if counter is not None:
@@ -159,16 +177,29 @@ def run_morph_rounds(
         stats.merge(copy.deepcopy(resume.stats))
         rng.bit_generator.state = copy.deepcopy(resume.rng_state)
     stalled = resume.stalled if resume is not None else 0
+    if resilience is not None:
+        pol = resilience.policy
+        ladder = StallLadder(seed=pol.escalation_seed,
+                             max_level=pol.max_escalations)
+        stall_rounds = pol.stall_rounds
+    else:
+        ladder = StallLadder()
+        stall_rounds = 2
+    if resume is not None:
+        ladder.level = getattr(resume, "escalation", 0)
     while stats.rounds < max_rounds:
         items = list(active())
         if not items:
             return stats
+        if not launch_ok(resilience, kernel):
+            continue        # absorbed transient abort: re-issue the round
         stats.rounds += 1
         if round_hook is not None:
             round_hook(stats.rounds)
         plans = list(plan(items, rng))
         if not plans:
             return stats
+        plans = ladder.select(plans)
         claims = Ragged.from_lists([list(p.claims) for p in plans])
         # One kernel scope per round: the sanitizer attributes the
         # marking audit and the winners' apply-phase stores to it, and
@@ -178,8 +209,11 @@ def run_morph_rounds(
             san.on_kernel_begin(kernel, round=stats.rounds)
         with trace_span(kernel, cat="iteration", round=stats.rounds):
             trace_gauge("morph.active", len(plans))
+            prios = ladder.priorities(len(plans), stats.rounds)
+            if prios is None:
+                prios = rng.permutation(len(plans))
             res = three_phase_mark(num_elements(), claims, rng,
-                                   priorities=rng.permutation(len(plans)),
+                                   priorities=prios,
                                    ensure_progress=ensure_progress)
             wins = 0
             for j in np.flatnonzero(res.winners):
@@ -200,11 +234,18 @@ def run_morph_rounds(
                        work_per_thread=claims.lengths())
         if wins == 0:
             stalled += 1
-            if stalled >= 2:
-                raise RuntimeError("morph engine stalled: no winner "
-                                   "applied in two consecutive rounds")
+            if stalled >= stall_rounds:
+                if not ladder.escalate(resilience):
+                    raise EngineStalled(
+                        "morph engine stalled: no winner applied in "
+                        f"{stalled} consecutive rounds at escalation "
+                        f"level {ladder.level} ({ladder.name})",
+                        rounds=stats.rounds, pending=len(plans),
+                        escalation=ladder.level)
+                stalled = 0     # the new level gets its own budget
         else:
             stalled = 0
+            ladder.reset(resilience)
         if (checkpoint_every > 0 and on_checkpoint is not None
                 and stats.rounds % checkpoint_every == 0):
             on_checkpoint(EngineCheckpoint(
@@ -213,5 +254,7 @@ def run_morph_rounds(
                 counter=copy.deepcopy(ctr),
                 rng_state=copy.deepcopy(rng.bit_generator.state),
                 payload=snapshot() if snapshot is not None else None,
-                stalled=stalled))
-    raise RuntimeError("morph engine exceeded max_rounds")
+                stalled=stalled,
+                escalation=ladder.level))
+    raise MaxRoundsExceeded("morph engine exceeded max_rounds",
+                            rounds=stats.rounds)

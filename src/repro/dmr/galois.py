@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.counters import OpCounter
+from ..errors import CavityError
 from ..meshing.mesh import TriMesh
 from .plan import apply_plan, plan_refinement
 
@@ -109,7 +110,7 @@ def refine_galois(mesh: TriMesh, threads: int = 48, *, seed: int = 0,
             slots = take_slots(len(p.cavity) + 4)
             try:
                 info = apply_plan(mesh, p, slots)
-            except (RuntimeError, ValueError):
+            except CavityError:
                 aborted += 1  # stale plan behaves like rolled-back work
                 continue
             locked.update(p.claims)

@@ -38,11 +38,15 @@ from ..core.conflict import three_phase_mark, two_phase_mark
 from ..core.counters import OpCounter
 from ..core.layout import bfs_permutation
 from ..core.ragged import Ragged
+from ..errors import CavityError
 from ..meshing import geometry as geo
 from ..meshing.mesh import TriMesh
+from ..resilience.addition import grow_array
+from ..resilience.deletion import ResilientRecyclePool
+from ..resilience.policy import launch_ok, maybe_activate_resilience
 from ..vgpu.instrument import (current_sanitizer, current_tracer,
-                               maybe_activate, maybe_activate_tracer,
-                               trace_span)
+                               fault_transfer, maybe_activate,
+                               maybe_activate_tracer, trace_span)
 from ..vgpu.memory import RecyclePool
 from ..vgpu.sync import BarrierModel, FENCE
 from .plan import RefinePlan, apply_plan
@@ -329,7 +333,7 @@ def _expand_cavities(mesh: TriMesh, px, py, cur, tx, ty,
 
 def refine_gpu(mesh: TriMesh, config: DMRConfig | None = None,
                counter: OpCounter | None = None, *,
-               sanitizer=None, tracer=None) -> DMRResult:
+               sanitizer=None, tracer=None, resilience=None) -> DMRResult:
     """Refine ``mesh`` with the simulated-GPU kernel; returns statistics.
 
     Structure follows the paper's Fig. 3: the host launches the
@@ -352,15 +356,24 @@ def refine_gpu(mesh: TriMesh, config: DMRConfig | None = None,
     recorded as a span hierarchy (driver -> iteration -> conflict
     phases) with cost-model durations and gauges, without perturbing
     the refinement (no RNG draws, no state changes).
+
+    ``resilience`` (opt-in, a :class:`repro.resilience.Resilience`)
+    degrades gracefully under device faults: transient kernel aborts at
+    the do-while boundary are re-issued, refused over-allocating growth
+    falls back to exact-fit (§7.1 growth-and-retry — byte-identical
+    results either way), and §7.2 recycle-pool exhaustion falls back to
+    Marking deletion.  Without it, injected faults propagate as typed
+    :class:`repro.errors.ReproError`\\ s.
     """
     with maybe_activate(sanitizer):
         with maybe_activate_tracer(tracer):
-            with trace_span("dmr.refine_gpu", cat="driver"):
-                return _refine_impl(mesh, config, counter)
+            with maybe_activate_resilience(resilience):
+                with trace_span("dmr.refine_gpu", cat="driver"):
+                    return _refine_impl(mesh, config, counter, resilience)
 
 
 def _refine_impl(mesh: TriMesh, config: DMRConfig | None,
-                 counter: OpCounter | None) -> DMRResult:
+                 counter: OpCounter | None, resil=None) -> DMRResult:
     cfg = config or DMRConfig()
     rng = np.random.default_rng(cfg.seed)
     ctr = counter or OpCounter()
@@ -373,9 +386,11 @@ def _refine_impl(mesh: TriMesh, config: DMRConfig | None,
         mesh = reorder_mesh(mesh)
     # Fig. 3: "transfer initial mesh  // CPU -> GPU" — 2 coordinate words
     # per point, 9 structure words per triangle slot.
+    fault_transfer(2 * mesh.n_pts + 9 * mesh.num_triangles)
     ctr.bump("h2d_words", 2 * mesh.n_pts + 9 * mesh.num_triangles)
     ctr.bump("xfer_calls", 1)
-    pool = RecyclePool()
+    pool = (ResilientRecyclePool(RecyclePool(), resilience=resil)
+            if resil is not None else RecyclePool())
     marks = np.full(mesh.tri.shape[0], -1, dtype=np.int64)
 
     processed = aborted_conf = aborted_geom = added = 0
@@ -387,6 +402,8 @@ def _refine_impl(mesh: TriMesh, config: DMRConfig | None,
         bad_all = mesh.bad_slots()
         if bad_all.size == 0:
             break
+        if not launch_ok(resil, "dmr.round"):
+            continue        # absorbed transient abort: re-issue the launch
         launch = cfg.adaptive.next(outer, abort_ratio=prev_abort_ratio,
                                    pending=int(bad_all.size))
         outer += 1
@@ -483,7 +500,9 @@ def _refine_impl(mesh: TriMesh, config: DMRConfig | None,
                 else:
                     grow = max(mesh.n_tris + fresh_needed,
                                int(mesh.tri.shape[0] * cfg.growth_factor) + 8)
-                    mesh.ensure_tri_capacity(grow)
+                    grow_array(resil, mesh.ensure_tri_capacity,
+                               preferred=grow,
+                               exact=mesh.n_tris + fresh_needed)
                     ctr.bump("reallocs")
                     ctr.bump("realloc_words", 9 * mesh.n_tris)
                 marks = np.full(mesh.tri.shape[0], -1, dtype=np.int64)
@@ -496,7 +515,7 @@ def _refine_impl(mesh: TriMesh, config: DMRConfig | None,
                 mesh.n_tris = max(mesh.n_tris, new_tail)
                 try:
                     info = apply_plan(mesh, p, slots)
-                except (RuntimeError, ValueError):
+                except CavityError:
                     aborted_geom += 1
                     pool.release(slots)  # unused; slots remain free
                     continue
@@ -544,6 +563,7 @@ def _refine_impl(mesh: TriMesh, config: DMRConfig | None,
         guards = True
 
     # Fig. 3: "transfer refined mesh  // GPU -> CPU".
+    fault_transfer(2 * mesh.n_pts + 9 * mesh.num_triangles)
     ctr.bump("d2h_words", 2 * mesh.n_pts + 9 * mesh.num_triangles)
     ctr.bump("xfer_calls", 1)
     return DMRResult(mesh=mesh, counter=ctr, rounds=outer,
@@ -607,7 +627,8 @@ def serve_job(params, strategy, seed, ctx):
         kwargs["adaptive"] = adaptive_from_dict(strategy["adaptive"])
     cfg = DMRConfig(seed=seed, **kwargs)
     mesh = random_mesh(int(params.get("n_triangles", 600)), seed=seed)
-    res = refine_gpu(mesh, cfg, counter=ctx.counter)
+    res = refine_gpu(mesh, cfg, counter=ctx.counter,
+                     resilience=getattr(ctx, "resilience", None))
     out = res.mesh
     arrays = (out.tri[: out.n_tris], out.px[: out.n_pts],
               out.py[: out.n_pts], out.isdel[: out.n_tris])

@@ -1,0 +1,182 @@
+"""The typed exception hierarchy for the reproduction.
+
+Every failure the system can *reason about* — device faults, engine
+stalls, geometric inconsistencies — derives from :class:`ReproError`,
+so callers distinguish "the device/algorithm degraded in a way the
+resilience layer understands" from a genuine bug (which surfaces as a
+plain ``RuntimeError``/``AssertionError`` and is never swallowed by a
+retry loop).  :class:`ReproError` still subclasses ``RuntimeError`` so
+pre-existing ``except RuntimeError`` call sites keep working during the
+migration.
+
+The tree::
+
+    ReproError(RuntimeError)
+    ├── DeviceFault                  device-level failure (real or injected)
+    │   ├── OutOfDeviceMemory        allocator exhausted (carries sizes)
+    │   │   ├── ChunkPoolExhausted   §7.1 Kernel-Only chunk pool dry
+    │   │   └── RecyclePoolExhausted §7.2 recycle free-list full
+    │   └── KernelAborted            transient launch failure (retryable)
+    ├── EngineStalled                no progress after the escalation ladder
+    ├── MaxRoundsExceeded            a round/phase budget ran out
+    └── CavityError                  geometric/structural cavity failure
+        ├── WalkStuck                point-location walk did not terminate
+        ├── CavityOversized          cavity expansion blew its size cap
+        ├── NotStarShaped            new point not visible from the boundary
+        ├── PointEscaped             point left the triangulation/bounding box
+        └── CavitySlotsExhausted     fan needs more slots than provided
+                                     (also a ValueError for compatibility)
+
+Fault *injection* lives in :mod:`repro.vgpu.faults`; degradation
+*policies* that catch these types live in :mod:`repro.resilience`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError", "DeviceFault", "OutOfDeviceMemory", "ChunkPoolExhausted",
+    "RecyclePoolExhausted", "KernelAborted", "EngineStalled",
+    "MaxRoundsExceeded", "CavityError", "WalkStuck", "CavityOversized",
+    "NotStarShaped", "PointEscaped", "CavitySlotsExhausted",
+]
+
+
+class ReproError(RuntimeError):
+    """Base class for every typed failure in the reproduction."""
+
+
+# ------------------------------------------------------------------ #
+# Device-level faults                                                 #
+# ------------------------------------------------------------------ #
+
+class DeviceFault(ReproError):
+    """A device-level failure (resource exhaustion or transient abort).
+
+    ``injected`` distinguishes faults fired by a
+    :class:`repro.vgpu.faults.DeviceFaultInjector` from organically hit
+    limits (e.g. a bounded :class:`~repro.vgpu.memory.RecyclePool`).
+    """
+
+    def __init__(self, message: str, *, injected: bool = False) -> None:
+        super().__init__(message)
+        self.injected = injected
+
+
+class OutOfDeviceMemory(DeviceFault):
+    """An allocation could not be satisfied.
+
+    ``requested`` / ``available`` carry the sizes (rows, slots or bytes
+    — whatever unit the failing allocator accounts in; ``unit`` names
+    it) so callers can size a growth-and-retry instead of guessing.
+    """
+
+    def __init__(self, message: str = "", *, requested: int | None = None,
+                 available: int | None = None, unit: str = "rows",
+                 injected: bool = False) -> None:
+        if not message:
+            message = (f"out of device memory: requested {requested} "
+                       f"{unit}, {available} available")
+        super().__init__(message, injected=injected)
+        self.requested = requested
+        self.available = available
+        self.unit = unit
+
+
+class ChunkPoolExhausted(OutOfDeviceMemory):
+    """The §7.1 Kernel-Only chunk pool has no free chunks."""
+
+
+class RecyclePoolExhausted(OutOfDeviceMemory):
+    """The §7.2 recycle free-list cannot absorb more deleted slots."""
+
+
+class KernelAborted(DeviceFault):
+    """A kernel launch failed transiently; the host may relaunch."""
+
+    def __init__(self, message: str = "", *, kernel: str = "?",
+                 event: int = 0, injected: bool = False) -> None:
+        if not message:
+            message = f"kernel {kernel!r} aborted (launch event {event})"
+        super().__init__(message, injected=injected)
+        self.kernel = kernel
+        self.event = event
+
+
+# ------------------------------------------------------------------ #
+# Engine-level failures                                               #
+# ------------------------------------------------------------------ #
+
+class EngineStalled(ReproError):
+    """The morph engine made no progress even after escalating through
+    the watchdog ladder (re-randomize -> shrink -> serialize)."""
+
+    def __init__(self, message: str = "", *, rounds: int = 0,
+                 pending: int = 0, escalation: int = 0) -> None:
+        if not message:
+            message = (f"morph engine stalled after {rounds} rounds "
+                       f"({pending} items pending, escalation level "
+                       f"{escalation} exhausted)")
+        super().__init__(message)
+        self.rounds = rounds
+        self.pending = pending
+        self.escalation = escalation
+
+
+class MaxRoundsExceeded(ReproError):
+    """A driver/engine round (or phase) budget was exhausted."""
+
+    def __init__(self, message: str, *, rounds: int = 0) -> None:
+        super().__init__(message)
+        self.rounds = rounds
+
+
+# ------------------------------------------------------------------ #
+# Cavity / geometric failures                                         #
+# ------------------------------------------------------------------ #
+
+class CavityError(ReproError):
+    """A cavity operation hit a geometric or structural inconsistency.
+
+    These are *expected* under device-precision speculative planning —
+    a winner's plan can be stale or numerically inconsistent — and the
+    drivers treat them as retryable aborts.  ``triangle`` / ``point``
+    identify the offending elements for diagnostics.
+    """
+
+    def __init__(self, message: str, *, triangle: int | None = None,
+                 point: tuple[float, float] | None = None) -> None:
+        super().__init__(message)
+        self.triangle = triangle
+        self.point = point
+
+
+class WalkStuck(CavityError):
+    """A point-location walk did not terminate within its step budget."""
+
+
+class CavityOversized(CavityError):
+    """Cavity expansion exceeded its size cap."""
+
+
+class NotStarShaped(CavityError):
+    """The cavity is not star-shaped around the new point (including the
+    collinear-interior-boundary-edge degeneracy)."""
+
+
+class PointEscaped(CavityError):
+    """A point left the triangulation (or its bounding box)."""
+
+
+class CavitySlotsExhausted(CavityError, ValueError):
+    """Retriangulation needs more free slots than the caller provided.
+
+    Also a ``ValueError`` because the pre-typed API raised one here and
+    callers/tests reasonably pin that.
+    """
+
+    def __init__(self, message: str, *, requested: int | None = None,
+                 available: int | None = None,
+                 triangle: int | None = None) -> None:
+        CavityError.__init__(self, message, triangle=triangle)
+        self.requested = requested
+        self.available = available

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import (CavityOversized, CavitySlotsExhausted, NotStarShaped,
+                      WalkStuck)
 from . import geometry as geo
 from .mesh import TriMesh
 
@@ -63,7 +65,9 @@ def locate(mesh: TriMesh, start: int, x: float, y: float,
         if u < 0:
             return Located("hull", t, edge=k, steps=steps)
         t = u
-    raise RuntimeError("point-location walk did not terminate")
+    raise WalkStuck(f"point-location walk did not terminate "
+                    f"(started at triangle {int(start)}, {steps} steps, "
+                    f"target ({x}, {y}))", triangle=t, point=(x, y))
 
 
 def delaunay_cavity(mesh: TriMesh, seed: int, x: float, y: float,
@@ -90,7 +94,9 @@ def delaunay_cavity(mesh: TriMesh, seed: int, x: float, y: float,
                     nxt.append(u)
         frontier = nxt
         if len(cavity) > max_size:
-            raise RuntimeError("cavity grew unreasonably large")
+            raise CavityOversized(
+                f"cavity grew unreasonably large (> {max_size} triangles "
+                f"from seed {int(seed)})", triangle=int(seed), point=(x, y))
     return cavity
 
 
@@ -149,14 +155,20 @@ def retriangulate(mesh: TriMesh, cavity: list[int], x: float, y: float,
             # adjacent triangles, so both sides are in the cavity and the
             # edge is not a boundary edge.
             if u >= 0:
-                raise RuntimeError("new point collinear with interior "
-                                   "cavity boundary edge")
+                raise NotStarShaped(
+                    "new point collinear with interior cavity boundary "
+                    f"edge (triangle {t}, edge {k})",
+                    triangle=t, point=(x, y))
             continue
         if o < 0:
-            raise RuntimeError("cavity not star-shaped around new point")
+            raise NotStarShaped(
+                "cavity not star-shaped around new point "
+                f"(triangle {t}, edge {k})", triangle=t, point=(x, y))
         fans.append((a, b, u, j))
     if len(fans) > slots.size:
-        raise ValueError(f"need {len(fans)} slots, got {slots.size}")
+        raise CavitySlotsExhausted(
+            f"need {len(fans)} slots, got {slots.size}",
+            requested=len(fans), available=int(slots.size))
     mesh.delete(np.asarray(cavity, dtype=np.int64))
     used = [int(slots[i]) for i in range(len(fans))]
     # Write fan triangles: vertex order (a, b, p) so edge 0 is (a, b).

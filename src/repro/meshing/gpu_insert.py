@@ -28,6 +28,10 @@ import numpy as np
 from ..core.conflict import three_phase_mark
 from ..core.counters import OpCounter
 from ..core.ragged import Ragged
+from ..errors import CavityError, MaxRoundsExceeded
+from ..resilience.addition import grow_array
+from ..resilience.deletion import ResilientRecyclePool
+from ..resilience.policy import launch_ok, maybe_activate_resilience
 from ..vgpu.instrument import (current_sanitizer, current_tracer,
                                maybe_activate, maybe_activate_tracer,
                                trace_span)
@@ -58,7 +62,8 @@ def gpu_insert_points(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
                       seed: int = 0, max_points_per_round: int = 4096,
                       counter: OpCounter | None = None,
                       max_rounds: int = 100_000,
-                      sanitizer=None, tracer=None) -> InsertResult:
+                      sanitizer=None, tracer=None,
+                      resilience=None) -> InsertResult:
     """Insert all points into ``mesh`` (mutated in place) concurrently.
 
     Points outside the mesh are rejected with ``ValueError``; exact
@@ -66,23 +71,31 @@ def gpu_insert_points(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
     ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
     for the duration of the insertion rounds; ``tracer`` (opt-in)
     records the rounds as a :mod:`repro.obs` span hierarchy.
+    ``resilience`` (opt-in, a :class:`repro.resilience.Resilience`)
+    absorbs transient round-boundary kernel aborts, degrades refused
+    over-allocating growth to exact fit, and falls back from Recycling
+    to Marking deletion on pool exhaustion; without it, injected device
+    faults propagate typed.
     """
     with maybe_activate(sanitizer):
         with maybe_activate_tracer(tracer):
-            with trace_span("meshing.gpu_insert_points", cat="driver"):
-                return _insert_impl(
-                    mesh, x, y, seed=seed,
-                    max_points_per_round=max_points_per_round,
-                    counter=counter, max_rounds=max_rounds)
+            with maybe_activate_resilience(resilience):
+                with trace_span("meshing.gpu_insert_points", cat="driver"):
+                    return _insert_impl(
+                        mesh, x, y, seed=seed,
+                        max_points_per_round=max_points_per_round,
+                        counter=counter, max_rounds=max_rounds,
+                        resil=resilience)
 
 
 def _insert_impl(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
                  seed: int, max_points_per_round: int,
                  counter: OpCounter | None,
-                 max_rounds: int) -> InsertResult:
+                 max_rounds: int, resil=None) -> InsertResult:
     rng = np.random.default_rng(seed)
     ctr = counter or OpCounter()
-    pool = RecyclePool()
+    pool = (ResilientRecyclePool(RecyclePool(), resilience=resil)
+            if resil is not None else RecyclePool())
     x = np.asarray(x, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64)
     pending = list(range(x.size))
@@ -91,6 +104,8 @@ def _insert_impl(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
     start_hint = int(mesh.live_slots()[0]) if mesh.num_triangles else 0
 
     while pending and rounds < max_rounds:
+        if not launch_ok(resil, "insertion.round"):
+            continue    # absorbed transient abort: re-issue the round
         rounds += 1
         tr = current_tracer()
         if tr is not None:
@@ -147,12 +162,14 @@ def _insert_impl(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
             i, cav, _ = ok[int(j)]
             slots, new_tail = pool.allocate(len(cav) + 4, mesh.n_tris)
             if new_tail > mesh.tri.shape[0]:
-                mesh.ensure_tri_capacity(int(new_tail * 1.5) + 8)
+                grow_array(resil, mesh.ensure_tri_capacity,
+                           preferred=int(new_tail * 1.5) + 8,
+                           exact=int(new_tail))
             mesh.n_tris = max(mesh.n_tris, new_tail)
             try:
                 info = retriangulate(mesh, cav, float(x[i]), float(y[i]),
                                      slots)
-            except (RuntimeError, ValueError):
+            except CavityError:
                 aborted += 1
                 pool.release(slots)
                 continue
@@ -180,7 +197,8 @@ def _insert_impl(mesh: TriMesh, x: np.ndarray, y: np.ndarray, *,
             tr.on_gauge("insert.applied", wins)
             tr.on_span_end()
     if pending:
-        raise RuntimeError("insertion did not finish within max_rounds")
+        raise MaxRoundsExceeded(
+            "insertion did not finish within max_rounds", rounds=rounds)
     return InsertResult(mesh=mesh, counter=ctr, rounds=rounds,
                         inserted=inserted, duplicates_skipped=dups,
                         aborted_conflicts=aborted, parallelism=parallelism)
@@ -212,7 +230,8 @@ random_mesh` cover the unit square, so the box stays inside the hull).
     y = rng.uniform(0.3, 0.7, n_points)
     res = gpu_insert_points(
         mesh, x, y, seed=seed, counter=ctx.counter,
-        max_points_per_round=int(strategy.get("max_points_per_round", 4096)))
+        max_points_per_round=int(strategy.get("max_points_per_round", 4096)),
+        resilience=getattr(ctx, "resilience", None))
     out = res.mesh
     arrays = (out.tri[: out.n_tris], out.px[: out.n_pts],
               out.py[: out.n_pts], out.isdel[: out.n_tris])

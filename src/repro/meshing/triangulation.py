@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import PointEscaped
 from .cavity import delaunay_cavity, locate, retriangulate
 from .mesh import TriMesh
 
@@ -86,7 +87,10 @@ def build_delaunay(x: np.ndarray, y: np.ndarray, *, margin: float = 0.05,
         seen[(xi, yi)] = i
         loc = locate(mesh, last, xi, yi, rng=rng)
         if loc.kind != "tri":
-            raise RuntimeError("input point escaped the bounding box")
+            raise PointEscaped(
+                f"input point ({xi}, {yi}) escaped the bounding box "
+                f"(walk ended at triangle {loc.slot})",
+                triangle=loc.slot, point=(xi, yi))
         # Reject exact duplicates of existing vertices (incl. corners).
         dup = False
         for v in mesh.tri[loc.slot]:

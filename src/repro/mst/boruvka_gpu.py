@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.counters import OpCounter
+from ..resilience.policy import launch_ok, maybe_activate_resilience
 from ..vgpu.atomics import atomic_min
 from ..vgpu.instrument import (current_tracer, maybe_activate,
                                maybe_activate_tracer, trace_span)
@@ -53,7 +54,7 @@ class MSTResult:
 def boruvka_gpu(num_nodes: int, src: np.ndarray, dst: np.ndarray,
                 weight: np.ndarray, *, counter: OpCounter | None = None,
                 max_rounds: int = 128, barrier=None, sanitizer=None,
-                tracer=None) -> MSTResult:
+                tracer=None, resilience=None) -> MSTResult:
     """Component-based Boruvka over a once-per-edge undirected list.
 
     ``barrier`` (an optional :class:`repro.vgpu.sync.BarrierModel`)
@@ -66,19 +67,23 @@ def boruvka_gpu(num_nodes: int, src: np.ndarray, dst: np.ndarray,
     ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
     around the solve; the per-round atomic-min reductions report to it.
     ``tracer`` (opt-in) records the rounds and four kernels as a
-    :mod:`repro.obs` span hierarchy.
+    :mod:`repro.obs` span hierarchy.  ``resilience`` (opt-in) re-issues
+    rounds refused by transient injected kernel aborts; without it, the
+    fault propagates typed.
     """
     with maybe_activate(sanitizer):
         with maybe_activate_tracer(tracer):
-            with trace_span("mst.boruvka_gpu", cat="driver"):
-                return _boruvka_impl(num_nodes, src, dst, weight,
-                                     counter=counter, max_rounds=max_rounds,
-                                     barrier=barrier)
+            with maybe_activate_resilience(resilience):
+                with trace_span("mst.boruvka_gpu", cat="driver"):
+                    return _boruvka_impl(num_nodes, src, dst, weight,
+                                         counter=counter,
+                                         max_rounds=max_rounds,
+                                         barrier=barrier, resil=resilience)
 
 
 def _boruvka_impl(num_nodes: int, src: np.ndarray, dst: np.ndarray,
                   weight: np.ndarray, *, counter: OpCounter | None,
-                  max_rounds: int, barrier=None) -> MSTResult:
+                  max_rounds: int, barrier=None, resil=None) -> MSTResult:
     ctr = counter or OpCounter()
     if barrier is not None:
         ctr.scalars["barrier_kind"] = barrier.index
@@ -95,6 +100,8 @@ def _boruvka_impl(num_nodes: int, src: np.ndarray, dst: np.ndarray,
     chosen: list[np.ndarray] = []
     rounds = 0
     while rounds < max_rounds:
+        if not launch_ok(resil, "mst.round"):
+            continue    # absorbed transient abort: re-issue the round
         rounds += 1
         tr = current_tracer()
         if tr is not None:
@@ -200,7 +207,8 @@ def serve_job(params, strategy, seed, ctx):
     num_nodes = int(params.get("num_nodes", 300))
     num_edges = int(params.get("num_edges", 4 * num_nodes))
     n, src, dst, w = random_graph(num_nodes, num_edges, seed=seed)
-    res = boruvka_gpu(n, src, dst, w, counter=ctx.counter, barrier=barrier)
+    res = boruvka_gpu(n, src, dst, w, counter=ctx.counter, barrier=barrier,
+                      resilience=getattr(ctx, "resilience", None))
     summary = {"total_weight": int(res.total_weight), "rounds": res.rounds,
                "num_components": res.num_components,
                "mst_edges": int(res.mst_edges.size)}

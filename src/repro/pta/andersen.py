@@ -23,6 +23,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.counters import OpCounter
+from ..resilience.addition import FallbackStorage
+from ..resilience.policy import launch_ok, maybe_activate_resilience
 from ..vgpu.instrument import (current_tracer, maybe_activate,
                                maybe_activate_tracer, trace_span)
 from .bitset import BitMatrix
@@ -51,7 +53,8 @@ def andersen_pull(cons: Constraints, *, chunk_size: int = 1024,
                   counter: OpCounter | None = None,
                   rep: np.ndarray | None = None,
                   max_rounds: int = 10_000,
-                  sanitizer=None, tracer=None) -> PTAResult:
+                  sanitizer=None, tracer=None,
+                  resilience=None) -> PTAResult:
     """Pull-based inclusion analysis; returns the fixed-point solution.
 
     ``rep`` (from :func:`repro.pta.cycles.collapse_cycles`) maps every
@@ -64,26 +67,34 @@ def andersen_pull(cons: Constraints, *, chunk_size: int = 1024,
     around the solve; the bit-matrix's atomic-or traffic and the chunk
     allocator report to it.  ``tracer`` (opt-in) records the
     addedge/propagate rounds as a :mod:`repro.obs` span hierarchy.
+    ``resilience`` (opt-in) puts the edge lists behind the §7.1
+    fallback chain (Kernel-Only -> Kernel-Host -> Host-Only) and
+    re-issues rounds refused by transient injected kernel aborts; the
+    fixed point is a set, so a degraded run's result is byte-identical.
     """
     with maybe_activate(sanitizer):
         with maybe_activate_tracer(tracer):
-            with trace_span("pta.andersen_pull", cat="driver"):
-                return _andersen_pull_impl(cons, chunk_size=chunk_size,
-                                           counter=counter, rep=rep,
-                                           max_rounds=max_rounds)
+            with maybe_activate_resilience(resilience):
+                with trace_span("pta.andersen_pull", cat="driver"):
+                    return _andersen_pull_impl(cons, chunk_size=chunk_size,
+                                               counter=counter, rep=rep,
+                                               max_rounds=max_rounds,
+                                               resil=resilience)
 
 
 def _andersen_pull_impl(cons: Constraints, *, chunk_size: int,
                         counter: OpCounter | None,
                         rep: np.ndarray | None,
-                        max_rounds: int) -> PTAResult:
+                        max_rounds: int, resil=None) -> PTAResult:
     n = cons.num_vars
     if rep is None:
         rep = np.arange(n, dtype=np.int64)
     ctr = counter or OpCounter()
     pts = BitMatrix(n, n)
     W = pts.words
-    graph = PullGraph(n, chunk_size)
+    storage = (FallbackStorage(n, chunk_size, resilience=resil)
+               if resil is not None else None)
+    graph = PullGraph(n, chunk_size, storage=storage)
 
     # Initialization kernel: address-of constraints seed the sets.
     p_addr, q_addr = cons.of_kind(Kind.ADDRESS_OF)
@@ -103,6 +114,8 @@ def _andersen_pull_impl(cons: Constraints, *, chunk_size: int,
     changed = np.ones(n, dtype=bool)   # nodes whose pts changed last sweep
     rounds = sweeps = 0
     while rounds < max_rounds:
+        if not launch_ok(resil, "pta.round"):
+            continue    # absorbed transient abort: re-issue the round
         rounds += 1
         tr = current_tracer()
         if tr is not None:
@@ -215,7 +228,8 @@ def serve_job(params, strategy, seed, ctx):
         from .push import andersen_push
         solver = andersen_push
     res = solver(cons, counter=ctx.counter,
-                 chunk_size=int(strategy.get("chunk_size", 1024)))
+                 chunk_size=int(strategy.get("chunk_size", 1024)),
+                 resilience=getattr(ctx, "resilience", None))
     summary = {"rounds": res.rounds, "edges_added": res.edges_added,
                "propagation_sweeps": res.propagation_sweeps,
                "total_facts": res.total_facts(), "variant": variant}

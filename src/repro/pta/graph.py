@@ -25,25 +25,43 @@ __all__ = ["PullGraph", "PushGraph"]
 
 
 class _EdgeLists:
-    def __init__(self, num_nodes: int, chunk_size: int) -> None:
+    def __init__(self, num_nodes: int, chunk_size: int,
+                 storage=None) -> None:
         self.num_nodes = num_nodes
-        self.alloc = ChunkAllocator(chunk_size)
-        self.lists: list[ChunkList] = [self.alloc.new_list()
-                                       for _ in range(num_nodes)]
+        # ``storage`` (e.g. repro.resilience.FallbackStorage) replaces
+        # the plain Kernel-Only allocator with the §7.1 fallback chain;
+        # it must offer insert/of/degree/degrees and chunks_allocated,
+        # so ``self.alloc`` stays valid for fragmentation accounting.
+        self.storage = storage
+        if storage is not None:
+            self.alloc = storage
+        else:
+            self.alloc = ChunkAllocator(chunk_size)
+            self.lists: list[ChunkList] = [self.alloc.new_list()
+                                           for _ in range(num_nodes)]
         self.num_edges = 0
 
     def add(self, node: int, others: np.ndarray) -> int:
-        added = self.alloc.insert_many(self.lists[node], others)
+        if self.storage is not None:
+            added = self.storage.insert(node, others)
+        else:
+            added = self.alloc.insert_many(self.lists[node], others)
         self.num_edges += added
         return added
 
     def of(self, node: int) -> np.ndarray:
+        if self.storage is not None:
+            return self.storage.of(node)
         return self.lists[node].to_array()
 
     def degree(self, node: int) -> int:
+        if self.storage is not None:
+            return self.storage.degree(node)
         return len(self.lists[node])
 
     def degrees(self) -> np.ndarray:
+        if self.storage is not None:
+            return self.storage.degrees()
         return np.asarray([len(l) for l in self.lists], dtype=np.int64)
 
 
@@ -55,8 +73,9 @@ class PullGraph(_EdgeLists):
     neighbor sets — safe by monotonicity (Section 6.4).
     """
 
-    def __init__(self, num_nodes: int, chunk_size: int = 1024) -> None:
-        super().__init__(num_nodes, chunk_size)
+    def __init__(self, num_nodes: int, chunk_size: int = 1024,
+                 storage=None) -> None:
+        super().__init__(num_nodes, chunk_size, storage=storage)
 
     def add_edges(self, src: np.ndarray, dst: np.ndarray) -> int:
         src = np.asarray(src, dtype=np.int64)
@@ -79,8 +98,9 @@ class PullGraph(_EdgeLists):
 class PushGraph(_EdgeLists):
     """Outgoing-edge lists for the push-based variant."""
 
-    def __init__(self, num_nodes: int, chunk_size: int = 1024) -> None:
-        super().__init__(num_nodes, chunk_size)
+    def __init__(self, num_nodes: int, chunk_size: int = 1024,
+                 storage=None) -> None:
+        super().__init__(num_nodes, chunk_size, storage=storage)
 
     def add_edges(self, src: np.ndarray, dst: np.ndarray) -> int:
         src = np.asarray(src, dtype=np.int64)

@@ -18,6 +18,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.counters import OpCounter
+from ..resilience.addition import FallbackStorage
+from ..resilience.policy import launch_ok, maybe_activate_resilience
 from .andersen import PTAResult
 from .bitset import BitMatrix
 from .constraints import Constraints, Kind
@@ -28,13 +30,28 @@ __all__ = ["andersen_push"]
 
 def andersen_push(cons: Constraints, *, chunk_size: int = 1024,
                   counter: OpCounter | None = None,
-                  max_rounds: int = 10_000) -> PTAResult:
-    """Push-based inclusion analysis; same fixed point as the pull one."""
+                  max_rounds: int = 10_000,
+                  resilience=None) -> PTAResult:
+    """Push-based inclusion analysis; same fixed point as the pull one.
+
+    ``resilience`` (opt-in) mirrors :func:`~repro.pta.andersen.\
+andersen_pull`: §7.1 fallback-chain edge storage plus round re-issue
+    on transient injected kernel aborts.
+    """
+    with maybe_activate_resilience(resilience):
+        return _push_impl(cons, chunk_size, counter, max_rounds, resilience)
+
+
+def _push_impl(cons: Constraints, chunk_size: int,
+               counter: OpCounter | None, max_rounds: int,
+               resil=None) -> PTAResult:
     n = cons.num_vars
     ctr = counter or OpCounter()
     pts = BitMatrix(n, n)
     W = pts.words
-    graph = PushGraph(n, chunk_size)
+    storage = (FallbackStorage(n, chunk_size, resilience=resil)
+               if resil is not None else None)
+    graph = PushGraph(n, chunk_size, storage=storage)
 
     p_addr, q_addr = cons.of_kind(Kind.ADDRESS_OF)
     pts.add(p_addr, q_addr)
@@ -52,6 +69,8 @@ def andersen_push(cons: Constraints, *, chunk_size: int = 1024,
     changed = np.ones(n, dtype=bool)
     rounds = sweeps = 0
     while rounds < max_rounds:
+        if not launch_ok(resil, "pta.round"):
+            continue    # absorbed transient abort: re-issue the round
         rounds += 1
         # ---- Phase 1: edge addition (identical to the pull variant) -- #
         new_src: list[np.ndarray] = []

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.counters import OpCounter
+from ..resilience.policy import launch_ok, maybe_activate_resilience
 from ..vgpu.instrument import (current_tracer, maybe_activate,
                                maybe_activate_tracer, trace_span)
 from .factorgraph import FactorGraph, exclude_one, _ZERO
@@ -138,22 +139,27 @@ def survey_iteration(fg: FactorGraph, *, counter: OpCounter | None = None,
 
 def run_sp(fg: FactorGraph, cfg: SPConfig,
            counter: OpCounter | None = None, *,
-           sanitizer=None, tracer=None) -> tuple[int, int, bool]:
+           sanitizer=None, tracer=None,
+           resilience=None) -> tuple[int, int, bool]:
     """Run SP phases with decimation until trivial/small/contradiction.
 
     Returns ``(phases, total_iterations, contradiction)``.
     ``sanitizer`` (opt-in) activates a :mod:`repro.analysis` detector
     around the run so the device primitives report to it; ``tracer``
     (opt-in) records SP phases as a :mod:`repro.obs` span hierarchy.
+    ``resilience`` (opt-in) re-issues SP phases refused by a transient
+    injected kernel abort; without it, the fault propagates typed.
     """
     with maybe_activate(sanitizer):
         with maybe_activate_tracer(tracer):
-            with trace_span("satsp.run_sp", cat="driver"):
-                return _run_sp_impl(fg, cfg, counter)
+            with maybe_activate_resilience(resilience):
+                with trace_span("satsp.run_sp", cat="driver"):
+                    return _run_sp_impl(fg, cfg, counter, resilience)
 
 
 def _run_sp_impl(fg: FactorGraph, cfg: SPConfig,
-                 counter: OpCounter | None) -> tuple[int, int, bool]:
+                 counter: OpCounter | None,
+                 resil=None) -> tuple[int, int, bool]:
     rng = np.random.default_rng(cfg.seed)
     phases = iters = 0
     while phases < cfg.max_phases:
@@ -161,6 +167,8 @@ def _run_sp_impl(fg: FactorGraph, cfg: SPConfig,
             break
         if fg.num_live_clauses < cfg.handoff_ratio * fg.num_unfixed:
             break  # residual formula left the hard phase
+        if not launch_ok(resil, "sp.phase"):
+            continue    # absorbed transient abort: re-issue the phase
         phases += 1
         tr = current_tracer()
         if tr is not None:
@@ -207,14 +215,15 @@ def _run_sp_impl(fg: FactorGraph, cfg: SPConfig,
 
 def solve_sp(cnf: CNF, cfg: SPConfig | None = None,
              counter: OpCounter | None = None, *,
-             sanitizer=None, tracer=None) -> SPResult:
+             sanitizer=None, tracer=None, resilience=None) -> SPResult:
     """Full pipeline: SP + decimation, then WalkSAT on the residual."""
     cfg = cfg or SPConfig()
     ctr = counter or OpCounter()
     fg = FactorGraph(cnf, seed=cfg.seed)
     phases, iters, contradiction = run_sp(fg, cfg, ctr,
                                           sanitizer=sanitizer,
-                                          tracer=tracer)
+                                          tracer=tracer,
+                                          resilience=resilience)
     if contradiction:
         return SPResult("CONTRADICTION", None, ctr, phases, iters,
                         fixed_by_sp=int((fg.fixed >= 0).sum()),
@@ -269,7 +278,8 @@ def serve_job(params, strategy, seed, ctx):
     kwargs = {k: strategy[k] for k in
               ("cached", "damping", "eps", "decimation_fraction",
                "require_convergence") if k in strategy}
-    res = solve_sp(cnf, SPConfig(seed=seed, **kwargs), counter=ctx.counter)
+    res = solve_sp(cnf, SPConfig(seed=seed, **kwargs), counter=ctx.counter,
+                   resilience=getattr(ctx, "resilience", None))
     assignment = (res.assignment if res.assignment is not None
                   else np.zeros(0, dtype=np.int64))
     summary = {"status": res.status, "phases": res.phases,

@@ -20,6 +20,15 @@ job runner consults :func:`current_injector` at the two hook sites:
 resource — a host transfer, a cold cache, an I/O stall) and continues.
 Both fire only on the attempt numbers listed in ``attempts``, so a test
 can kill attempt 1 and let the retry through.
+
+*Device* fault kinds (any of :data:`repro.vgpu.faults.FAULT_KINDS`:
+``oom``, ``chunk_exhausted``, ``pool_exhausted``, ``kernel_abort``,
+``slow_transfer``) fail the virtual device rather than the job: on the
+listed attempts :meth:`FaultPlan.device_plan` materializes a
+:class:`~repro.vgpu.faults.DeviceFaultPlan` that the worker installs
+for the attempt.  With ``resilience`` enabled on the spec the driver
+degrades gracefully and the digest stays byte-identical; without it
+the typed :class:`repro.errors.ReproError` is a retryable job failure.
 """
 
 from __future__ import annotations
@@ -27,6 +36,9 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from ..vgpu.faults import FAULT_KINDS as DEVICE_KINDS
+from ..vgpu.faults import DeviceFaultPlan, DeviceFaultRule
 
 __all__ = ["FaultInjected", "FaultPlan", "FaultInjector",
            "current_injector", "activate", "maybe_activate"]
@@ -45,28 +57,69 @@ class FaultPlan:
     ``at_round`` of ``None`` fires at job start; a positive value fires
     at the top of that engine round (engine-driven jobs only — drivers
     without round hooks never reach round-granular sites).
+
+    Device kinds use the device-side fields instead: ``at_event``
+    (1-based device event indices) or ``rate`` + ``fault_seed``
+    (counter-indexed deterministic firing), and ``kernel`` (a launch
+    name or trailing-``*`` prefix for ``kernel_abort``).
     """
 
-    kind: str = "kill"                    # "kill" | "delay"
+    kind: str = "kill"              # "kill" | "delay" | a device kind
     attempts: tuple[int, ...] = (1,)
     at_round: int | None = None
     delay_s: float = 0.0
+    #: device kinds: 1-based event indices of the kind's own counter
+    at_event: tuple[int, ...] = ()
+    #: device kinds: deterministic firing rate in [0, 1]
+    rate: float = 0.0
+    #: seeds the rate hash (NOT any run RNG)
+    fault_seed: int = 0
+    #: ``kernel_abort``: launch-name filter (trailing ``*`` = prefix)
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("kill", "delay"):
+        if self.kind not in ("kill", "delay") + DEVICE_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         object.__setattr__(self, "attempts", tuple(int(a) for a in self.attempts))
+        object.__setattr__(self, "at_event", tuple(int(a) for a in self.at_event))
+
+    @property
+    def is_device(self) -> bool:
+        return self.kind in DEVICE_KINDS
+
+    def device_plan(self, attempt: int) -> DeviceFaultPlan | None:
+        """The device-fault plan for ``attempt``, or ``None`` when this
+        plan is job-level or does not fire on that attempt."""
+        if not self.is_device or attempt not in self.attempts:
+            return None
+        return DeviceFaultPlan.of(DeviceFaultRule(
+            kind=self.kind, at=self.at_event, rate=self.rate,
+            seed=self.fault_seed, kernel=self.kernel,
+            delay_s=self.delay_s))
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "attempts": list(self.attempts),
-                "at_round": self.at_round, "delay_s": self.delay_s}
+        d = {"kind": self.kind, "attempts": list(self.attempts),
+             "at_round": self.at_round, "delay_s": self.delay_s}
+        if self.at_event:
+            d["at_event"] = list(self.at_event)
+        if self.rate:
+            d["rate"] = self.rate
+        if self.fault_seed:
+            d["fault_seed"] = self.fault_seed
+        if self.kernel is not None:
+            d["kernel"] = self.kernel
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "FaultPlan":
         return cls(kind=d.get("kind", "kill"),
                    attempts=tuple(d.get("attempts", (1,))),
                    at_round=d.get("at_round"),
-                   delay_s=float(d.get("delay_s", 0.0)))
+                   delay_s=float(d.get("delay_s", 0.0)),
+                   at_event=tuple(d.get("at_event", ())),
+                   rate=float(d.get("rate", 0.0)),
+                   fault_seed=int(d.get("fault_seed", 0)),
+                   kernel=d.get("kernel"))
 
 
 @dataclass
@@ -79,6 +132,8 @@ class FaultInjector:
     fired: int = field(default=0)
 
     def _due(self, round_: int | None) -> bool:
+        if self.plan.is_device:
+            return False    # device faults fire in the vgpu fault layer
         if self.attempt not in self.plan.attempts:
             return False
         return self.plan.at_round == round_

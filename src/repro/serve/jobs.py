@@ -69,6 +69,11 @@ class JobSpec:
     #: checkpoint cadence in engine rounds (0 = no checkpoints)
     checkpoint_every: int = 0
     fault: FaultPlan | None = None
+    #: opt into graceful degradation: the attempt runs with a fresh
+    #: :class:`repro.resilience.Resilience`, so injected device faults
+    #: are absorbed by the §7.1/§7.2 fallback chains instead of failing
+    #: the attempt
+    resilience: bool = False
 
     def to_dict(self) -> dict:
         strategy = (self.strategy if isinstance(self.strategy, str)
@@ -80,6 +85,8 @@ class JobSpec:
              "checkpoint_every": self.checkpoint_every}
         if self.fault is not None:
             d["fault"] = self.fault.to_dict()
+        if self.resilience:
+            d["resilience"] = True
         return d
 
     @classmethod
@@ -97,6 +104,7 @@ class JobSpec:
             backoff_s=float(d.get("backoff_s", 0.05)),
             checkpoint_every=int(d.get("checkpoint_every", 0)),
             fault=FaultPlan.from_dict(fault) if fault else None,
+            resilience=bool(d.get("resilience", False)),
         )
 
 
@@ -112,6 +120,9 @@ class JobContext:
     save_checkpoint: Callable[[object], None] | None = None
     #: the checkpoint this attempt resumes from, if any
     resume_state: object | None = None
+    #: this attempt's :class:`repro.resilience.Resilience`, if the spec
+    #: opted in (drivers read it via ``getattr(ctx, "resilience", None)``)
+    resilience: object | None = None
 
 
 @dataclass
@@ -210,18 +221,22 @@ def _engine_job(params: Mapping, strategy: Mapping, seed: int,
             raise JobError("engine job got a foreign checkpoint payload")
         work.colors = np.array(resume.payload, dtype=colors.dtype)
 
-    stats = run_morph_rounds(
-        work.conflicted, work.plan, work.apply, lambda: g.num_nodes,
-        rng=rng, counter=ctx.counter,
-        kernel="serve.recolor",
-        ensure_progress=bool(strategy.get("ensure_progress", True)),
-        max_rounds=int(params.get("max_rounds", 1_000_000)),
-        round_hook=ctx.round_hook,
-        checkpoint_every=ctx.checkpoint_every,
-        snapshot=lambda: work.colors.copy(),
-        on_checkpoint=ctx.save_checkpoint,
-        resume=resume,
-    )
+    from ..resilience.policy import maybe_activate_resilience
+
+    with maybe_activate_resilience(ctx.resilience):
+        stats = run_morph_rounds(
+            work.conflicted, work.plan, work.apply, lambda: g.num_nodes,
+            rng=rng, counter=ctx.counter,
+            kernel="serve.recolor",
+            ensure_progress=bool(strategy.get("ensure_progress", True)),
+            max_rounds=int(params.get("max_rounds", 1_000_000)),
+            round_hook=ctx.round_hook,
+            checkpoint_every=ctx.checkpoint_every,
+            snapshot=lambda: work.colors.copy(),
+            on_checkpoint=ctx.save_checkpoint,
+            resume=resume,
+            resilience=ctx.resilience,
+        )
     summary = {"rounds": stats.rounds, "applied": stats.applied,
                "aborted": stats.aborted,
                "num_colors": int(work.colors.max()) + 1,

@@ -36,10 +36,12 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..core.counters import OpCounter
 from ..core.engine import EngineCheckpoint
+from ..resilience import Resilience
 from .checkpoint import CheckpointStore
 from .faults import FaultInjected, FaultInjector, maybe_activate
 from .jobs import (JobContext, JobError, JobResult, JobSpec, digest_arrays,
@@ -68,6 +70,12 @@ class JobRecord:
     service_s: float = 0.0
     #: round the successful attempt resumed from (0 = clean start)
     resumed_round: int = 0
+    #: the successful attempt degraded gracefully (resilience absorbed
+    #: at least one device fault or stall)
+    degraded: bool = False
+    #: the degradation event log of the successful attempt (out-of-band
+    #: — never part of the result digest)
+    resilience_events: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -94,7 +102,18 @@ def _execute_job(spec_dict: dict, checkpoint_dir: str | None,
     for attempt in range(1, max_attempts + 1):
         record.attempts = attempt
         injector = (FaultInjector(spec.fault, attempt=attempt)
-                    if spec.fault is not None else None)
+                    if spec.fault is not None and not spec.fault.is_device
+                    else None)
+        device_plan = (spec.fault.device_plan(attempt)
+                       if spec.fault is not None else None)
+        resil = (Resilience(faults=device_plan)
+                 if spec.resilience else None)
+        # Without resilience the pool installs the device injector
+        # itself, so the typed fault propagates as a retryable failure;
+        # with it, the adapter's maybe_activate_resilience installs it.
+        device_cm = (device_plan.injector().activate()
+                     if device_plan is not None and resil is None
+                     else nullcontext())
         deadline = (time.monotonic() + spec.timeout_s
                     if spec.timeout_s is not None else None)
 
@@ -118,9 +137,10 @@ def _execute_job(spec_dict: dict, checkpoint_dir: str | None,
                 (lambda ck: store.save(spec.name, ck))
                 if store is not None else None),
             resume_state=resume,
+            resilience=resil,
         )
         try:
-            with maybe_activate(injector):
+            with maybe_activate(injector), device_cm:
                 if injector is not None:
                     injector.on_job_start()
                 if deadline is not None and time.monotonic() > deadline:
@@ -137,6 +157,9 @@ def _execute_job(spec_dict: dict, checkpoint_dir: str | None,
 
         if isinstance(resume, EngineCheckpoint):
             record.resumed_round = resume.round
+        if resil is not None and resil.degraded:
+            record.degraded = True
+            record.resilience_events = [dict(e) for e in resil.events]
         record.result = JobResult(
             name=spec.name, algorithm=spec.algorithm,
             digest=digest_arrays(arrays, summary),

@@ -69,13 +69,21 @@ class TuneRecord:
     seed: int = 0
     trials: int = 0
     cost_model_version: int = field(default=COST_MODEL_VERSION)
+    #: axis -> value the tuning run *actually* used after resilience
+    #: downgrades (e.g. ``{"addition": "host_only"}``); empty on clean
+    #: runs and omitted from the serialization, so caches written
+    #: before this field existed stay byte-identical
+    effective_strategy: dict = field(default_factory=dict)
 
     @property
     def key(self) -> str:
         return f"{self.algorithm}/{self.fingerprint}/v{self.cost_model_version}"
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        d = asdict(self)
+        if not d["effective_strategy"]:
+            del d["effective_strategy"]
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "TuneRecord":
@@ -87,7 +95,8 @@ class TuneRecord:
                    seed=int(d.get("seed", 0)),
                    trials=int(d.get("trials", 0)),
                    cost_model_version=int(d.get("cost_model_version",
-                                                COST_MODEL_VERSION)))
+                                                COST_MODEL_VERSION)),
+                   effective_strategy=dict(d.get("effective_strategy", {})))
 
 
 class TuningCache:

@@ -108,13 +108,18 @@ def proxy_params(algorithm: str, params: Mapping, scale: float) -> dict:
 
 def score_config(algorithm: str, params: Mapping, config: Mapping,
                  seed: int, scale: float = 1.0, *,
-                 tracer=None) -> Trial:
-    """Run the real driver on the scaled input; price it; one Trial."""
+                 tracer=None, resilience=None) -> Trial:
+    """Run the real driver on the scaled input; price it; one Trial.
+
+    ``resilience`` (opt-in) is handed to the adapter like any serve
+    attempt's; a trial that degrades under injected faults records its
+    effective strategy there, keeping tuned costs honest.
+    """
     from ..serve.jobs import JobContext, get_adapter
 
     space = space_for(algorithm)
     cfg = space.canonical(config)
-    ctx = JobContext(counter=OpCounter())
+    ctx = JobContext(counter=OpCounter(), resilience=resilience)
     get_adapter(algorithm)(proxy_params(algorithm, params, scale), cfg,
                            seed, ctx)
     modeled = CostModel().gpu_time(ctx.counter)
@@ -217,7 +222,7 @@ ENGINES = {"exhaustive": _exhaustive, "halving": _halving,
 def tune(algorithm: str, params: Mapping | None = None, *,
          budget: int = 16, seed: int = 0, engine: str = "auto",
          cache: TuningCache | None = None, force: bool = False,
-         tracer=None) -> TuneResult:
+         tracer=None, resilience=None) -> TuneResult:
     """Search ``algorithm``'s strategy space for its cheapest config.
 
     ``budget`` bounds the number of *candidate configs* an engine
@@ -247,7 +252,7 @@ def tune(algorithm: str, params: Mapping | None = None, *,
 
     def scorer(config, scale):
         return score_config(algorithm, params, config, seed, scale,
-                            tracer=tracer)
+                            tracer=tracer, resilience=resilience)
 
     trials = ENGINES[engine](space, scorer, budget, seed)
 
@@ -265,7 +270,10 @@ def tune(algorithm: str, params: Mapping | None = None, *,
                         config=best_trial.config,
                         modeled_gpu_s=best_trial.modeled_gpu_s,
                         engine=engine, budget=budget, seed=seed,
-                        trials=len(trials))
+                        trials=len(trials),
+                        effective_strategy=(
+                            dict(resilience.effective_strategy)
+                            if resilience is not None else {}))
     if cache is not None:
         cache.put(record)
     return TuneResult(algorithm=algorithm, fingerprint=fingerprint,

@@ -45,6 +45,9 @@ __all__ = [
     "TracerHooks", "current_tracer", "activate_tracer",
     "maybe_activate_tracer", "suppress_tracer",
     "trace_span", "trace_launch", "trace_gauge",
+    "FaultHooks", "current_faults", "activate_faults",
+    "maybe_activate_faults", "fault_malloc", "fault_chunk", "fault_pool",
+    "fault_kernel", "fault_transfer",
 ]
 
 
@@ -286,3 +289,121 @@ def trace_gauge(name: str, value: float) -> None:
     tr = _current_tracer
     if tr is not None:
         tr.on_gauge(name, value)
+
+
+# ------------------------------------------------------------------ #
+# Fault hooks (consumed by repro.vgpu.faults / repro.resilience)     #
+# ------------------------------------------------------------------ #
+
+class FaultHooks:
+    """No-op base interface for device fault injectors.
+
+    Unlike the sanitizer and tracer — which *observe* — a fault client
+    may **raise** from any hook (a typed :class:`repro.errors.\
+DeviceFault` subclass) or sleep wall-clock time, modeling the device
+    failing underneath the host.  It must still never mutate device
+    state or draw from a shared RNG, so a run whose faults are all
+    absorbed by the resilience layer stays byte-identical to a
+    fault-free run.
+
+    The hook vocabulary covers the device's failure surfaces:
+
+    * ``on_malloc`` — a :class:`~repro.vgpu.memory.DeviceAllocator`
+      request (and driver-level array growth): may raise
+      :class:`~repro.errors.OutOfDeviceMemory`;
+    * ``on_chunk_alloc`` — the §7.1 Kernel-Only chunk pool handing out
+      a fresh chunk: may raise :class:`~repro.errors.\
+ChunkPoolExhausted`;
+    * ``on_pool_release`` — the §7.2 recycle free-list absorbing
+      deleted slots: may raise :class:`~repro.errors.\
+RecyclePoolExhausted`;
+    * ``on_kernel_launch`` — a named launch about to start: may raise
+      :class:`~repro.errors.KernelAborted` (the retryable transient);
+    * ``on_transfer`` — a host<->device copy of ``words`` words: may
+      sleep (slow-PCIe modeling) but must not raise.
+    """
+
+    def on_malloc(self, nbytes: int) -> None:
+        pass
+
+    def on_chunk_alloc(self) -> None:
+        pass
+
+    def on_pool_release(self, n: int) -> None:
+        pass
+
+    def on_kernel_launch(self, name: str) -> None:
+        pass
+
+    def on_transfer(self, words: int) -> None:
+        pass
+
+
+_current_faults: FaultHooks | None = None
+
+
+def current_faults() -> FaultHooks | None:
+    """The innermost active fault client, or ``None``."""
+    return _current_faults
+
+
+@contextmanager
+def activate_faults(faults: FaultHooks):
+    """Install ``faults`` for the dynamic extent of the ``with`` block.
+
+    Activations nest; the innermost client receives the events (an
+    outer one is restored when the inner scope exits).
+    """
+    global _current_faults
+    prev = _current_faults
+    _current_faults = faults
+    try:
+        yield faults
+    finally:
+        _current_faults = prev
+
+
+@contextmanager
+def maybe_activate_faults(faults: FaultHooks | None):
+    """Like :func:`activate_faults` but a no-op when ``faults`` is
+    ``None`` — the opt-in idiom mirroring ``sanitizer=``/``tracer=``."""
+    if faults is None:
+        yield None
+        return
+    with activate_faults(faults):
+        yield faults
+
+
+def fault_malloc(nbytes: int) -> None:
+    """Offer an allocation of ``nbytes`` to the active fault client."""
+    fc = _current_faults
+    if fc is not None:
+        fc.on_malloc(nbytes)
+
+
+def fault_chunk() -> None:
+    """Offer a chunk-pool allocation to the active fault client."""
+    fc = _current_faults
+    if fc is not None:
+        fc.on_chunk_alloc()
+
+
+def fault_pool(n: int) -> None:
+    """Offer a recycle-pool release of ``n`` slots to the fault client."""
+    fc = _current_faults
+    if fc is not None:
+        fc.on_pool_release(n)
+
+
+def fault_kernel(name: str) -> None:
+    """Offer a named kernel launch to the active fault client."""
+    fc = _current_faults
+    if fc is not None:
+        fc.on_kernel_launch(name)
+
+
+def fault_transfer(words: int) -> None:
+    """Offer a host<->device transfer to the active fault client."""
+    fc = _current_faults
+    if fc is not None:
+        fc.on_transfer(words)

@@ -24,8 +24,10 @@ from typing import Callable
 import numpy as np
 
 from ..core.counters import OpCounter
+from ..errors import MaxRoundsExceeded
 from .device import GpuSpec, LaunchConfig, TESLA_C2070
-from .instrument import current_sanitizer, current_tracer, trace_span
+from .instrument import (current_sanitizer, current_tracer, fault_kernel,
+                         trace_span)
 
 __all__ = ["KernelLauncher", "spmd_launch"]
 
@@ -71,6 +73,10 @@ class _LaunchRecorder:
         self._recorded = False
 
     def __enter__(self):
+        # The device-fault site: an active injector may refuse the
+        # launch here with a (retryable) KernelAborted, before the
+        # kernel body runs or the launch is recorded.
+        fault_kernel(self._name)
         return self
 
     def __call__(self, **kwargs) -> None:
@@ -116,6 +122,7 @@ def spmd_launch(
     the checker reports them as findings rather than raising.
     """
     rng = rng or np.random.default_rng()
+    fault_kernel(name)
     san = current_sanitizer()
     if not inspect.isgeneratorfunction(thread_fn):
         if san is not None:
@@ -141,8 +148,9 @@ def spmd_launch(
             while live:
                 phases += 1
                 if phases > max_phases:
-                    raise RuntimeError(
-                        "spmd_launch exceeded max_phases (deadlock?)")
+                    raise MaxRoundsExceeded(
+                        "spmd_launch exceeded max_phases (deadlock?)",
+                        rounds=phases)
                 order = rng.permutation(len(live))
                 survivors = []
                 for k in order:

@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .instrument import current_sanitizer
+from ..errors import RecyclePoolExhausted
+from .instrument import current_sanitizer, fault_chunk, fault_malloc, fault_pool
 
 __all__ = ["DeviceAllocator", "ChunkList", "ChunkAllocator", "RecyclePool"]
 
@@ -47,8 +48,14 @@ class DeviceAllocator:
         self.bytes_copied = 0
 
     def malloc(self, shape, dtype=np.int64, fill=None) -> np.ndarray:
-        """Allocate a device array (``cudaMalloc``)."""
+        """Allocate a device array (``cudaMalloc``).
+
+        An active fault injector may refuse the request by raising
+        :class:`repro.errors.OutOfDeviceMemory` — before any accounting
+        mutates, so an absorbed fault leaves the allocator consistent.
+        """
         arr = np.empty(shape, dtype=dtype)
+        fault_malloc(arr.nbytes)
         if fill is not None:
             arr.fill(fill)
         self.mallocs += 1
@@ -132,6 +139,9 @@ class ChunkAllocator:
         return ChunkList()
 
     def _new_chunk(self) -> np.ndarray:
+        """One in-kernel chunk malloc; the fault site for §7.1
+        chunk-pool exhaustion (:class:`repro.errors.ChunkPoolExhausted`)."""
+        fault_chunk()
         self.chunks_allocated += 1
         return np.empty(self.chunk_size, dtype=np.int64)
 
@@ -141,6 +151,13 @@ class ChunkAllocator:
         Returns the number of genuinely new IDs stored.  Insertion keeps
         each chunk individually sorted by merging new IDs into the tail
         chunk and spilling into fresh chunks as needed.
+
+        The operation is *atomic with respect to allocation failure*:
+        every fresh chunk the insert needs is acquired before the list
+        is touched, so a :class:`~repro.errors.ChunkPoolExhausted`
+        raised mid-request leaves ``lst`` (and the use counters) exactly
+        as they were — the caller can fall back to another storage
+        strategy and retry the same values.
         """
         values = np.unique(np.asarray(values, dtype=np.int64))
         if values.size == 0:
@@ -151,19 +168,23 @@ class ChunkAllocator:
         if values.size == 0:
             return 0
         added = int(values.size)
+        room = (self.chunk_size - lst.counts[-1]
+                if lst.chunks and lst.counts[-1] < self.chunk_size else 0)
+        spill = max(0, added - room)
+        fresh = [self._new_chunk()
+                 for _ in range((spill + self.chunk_size - 1)
+                                // self.chunk_size)]
         self.slots_used += added
         # Fill the tail chunk first, keeping it sorted.
-        if lst.chunks and lst.counts[-1] < self.chunk_size:
+        if room:
             tail, n = lst.chunks[-1], lst.counts[-1]
-            room = self.chunk_size - n
             take = values[:room]
             merged = np.sort(np.concatenate([tail[:n], take]))
             tail[: merged.size] = merged
             lst.counts[-1] = merged.size
             values = values[room:]
-        # Spill remaining values into fresh chunks.
-        while values.size:
-            chunk = self._new_chunk()
+        # Spill remaining values into the pre-acquired fresh chunks.
+        for chunk in fresh:
             take = values[: self.chunk_size]
             chunk[: take.size] = take  # already sorted
             lst.chunks.append(chunk)
@@ -179,9 +200,19 @@ class ChunkAllocator:
 
 
 class RecyclePool:
-    """Free-list of recycled element slots (Recycle deletion strategy)."""
+    """Free-list of recycled element slots (Recycle deletion strategy).
 
-    def __init__(self) -> None:
+    ``capacity`` optionally bounds the free list (a device free-list is
+    a fixed-size buffer); a :meth:`release` that would overflow it
+    raises :class:`repro.errors.RecyclePoolExhausted` *before* mutating
+    anything, which is the organic trigger for the §7.2
+    Recycling -> Marking fallback in :mod:`repro.resilience`.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
         self._free: list[int] = []
         self.recycled = 0
         self.reused = 0
@@ -189,6 +220,12 @@ class RecyclePool:
     def release(self, slots) -> None:
         """Mark element slots as deleted and reusable."""
         slots = np.atleast_1d(np.asarray(slots, dtype=np.int64))
+        fault_pool(int(slots.size))
+        if (self.capacity is not None
+                and len(self._free) + slots.size > self.capacity):
+            raise RecyclePoolExhausted(
+                requested=int(slots.size),
+                available=self.capacity - len(self._free), unit="slots")
         self._free.extend(int(s) for s in slots)
         self.recycled += slots.size
 

@@ -25,18 +25,36 @@ def pytest_addoption(parser):
         "--trace-smoke", action="store_true", default=False,
         help="run only the trace_smoke tests: one small traced run per "
              "algorithm driver, validating the exported Chrome trace")
+    parser.addoption(
+        "--chaos", action="store_true", default=False,
+        help="run only the chaos tests: seeded device-fault injection "
+             "against every driver, asserting graceful degradation "
+             "(byte-identical digests) or typed ReproError failures")
 
 
-def pytest_collection_modifyitems(config, items):
-    if not config.getoption("--trace-smoke"):
-        return
+def _select_marked(config, items, marker: str):
     selected = [it for it in items
-                if it.get_closest_marker("trace_smoke") is not None]
+                if it.get_closest_marker(marker) is not None]
     deselected = [it for it in items
-                  if it.get_closest_marker("trace_smoke") is None]
+                  if it.get_closest_marker(marker) is None]
     if deselected:
         config.hook.pytest_deselected(items=deselected)
         items[:] = selected
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--trace-smoke"):
+        _select_marked(config, items, "trace_smoke")
+        return
+    if config.getoption("--chaos"):
+        _select_marked(config, items, "chaos")
+        return
+    # Chaos tests are opt-in: they deliberately fail the virtual device,
+    # so the default (tier-1) run skips them.
+    skip = pytest.mark.skip(reason="chaos tests run only with --chaos")
+    for it in items:
+        if it.get_closest_marker("chaos") is not None:
+            it.add_marker(skip)
 
 
 def pytest_configure(config):
@@ -45,6 +63,9 @@ def pytest_configure(config):
         "allow_races: test intentionally exercises racy kernels "
         "(e.g. the 2-phase marking bug); skipped by the --sanitize "
         "detector fixture")
+    config.addinivalue_line(
+        "markers",
+        "chaos: seeded device-fault chaos test; opt-in via --chaos")
 
 
 @pytest.fixture(autouse=True)

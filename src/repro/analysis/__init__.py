@@ -13,10 +13,14 @@ ThreadSanitizer, with three layers:
   barrier-divergence checker for SPMD generator kernels.
 * :mod:`.reports` — uniform :class:`Finding` records with
   thread/kernel/phase attribution.
-* :mod:`.lint` — a static AST pass over kernel code
-  (``python -m repro.analysis.lint src/repro``) flagging plain fancy
-  stores inside launch blocks, host-side thread loops in vectorized
-  kernels, missing op accounting, and bare excepts.
+* :mod:`.static` — the whole-program kernel effect analyzer
+  (``python -m repro.analysis.static src/repro``): per-kernel effect
+  summaries (reads/writes/atomics/allocator handles per barrier
+  interval) verified against static race (STA201), barrier-divergence
+  (STA202), allocator-lifetime (STA203), determinism (STA204) and
+  manifest-drift (STA205) rules, plus the folded ``KRN101``–``KRN104``
+  lint rules.  :mod:`.lint` remains as a thin deprecated alias running
+  just the KRN subset.
 
 Every algorithm driver takes an opt-in ``sanitizer=`` keyword::
 

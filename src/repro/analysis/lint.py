@@ -1,51 +1,33 @@
-"""Static lint pass for simulated-GPU kernel code (``repro.analysis.lint``).
+"""Deprecated alias for the ``KRN`` rules of ``repro.analysis.static``.
 
-AST-based checks for the patterns that the dynamic race detector can
-only catch at runtime — run them in CI so every kernel is checked by
-construction::
+The standalone lint pass was folded into the whole-program kernel
+effect analyzer (one rule registry, one finding type, one baseline
+format) — see :mod:`repro.analysis.static` and
+``docs/STATIC_ANALYSIS.md``.  ``python -m repro.analysis.lint`` keeps
+working and runs exactly the ``KRN101``–``KRN104`` subset; new code and
+CI should run::
 
-    python -m repro.analysis.lint src/repro
+    python -m repro.analysis.static src/repro
 
-Rules
------
-
-``KRN101`` **raw-store-in-kernel** — a plain fancy assignment
-    ``dest[idx] = val`` (or ``dest[idx] += val``) with a non-constant
-    subscript inside a ``KernelLauncher.launch`` block.  Concurrent
-    stores must go through :func:`repro.vgpu.atomics.scatter_write` or
-    the ``atomic_*`` primitives so race semantics are modeled and the
-    sanitizer sees them; NumPy fancy assignment silently keeps the last
-    duplicate, which is neither.
-
-``KRN102`` **host-loop-over-threads** — a host-side Python ``for``
-    loop over ``range(...)`` inside a vectorized kernel block.  The
-    vectorized path models thousands of concurrent threads with array
-    ops; per-thread Python loops belong in SPMD generator kernels
-    (:func:`repro.vgpu.kernel.spmd_launch`), not in ``launch`` blocks.
-
-``KRN103`` **missing-op-accounting** — a ``with ... .launch(...) as
-    rec:`` block that never calls ``rec(...)``.  Unaccounted kernels
-    are priced as empty dispatches by the cost model, silently skewing
-    every figure derived from the counter.
-
-``KRN104`` **bare-except** — ``except:`` swallows ``KeyboardInterrupt``
-    and hides geometry/conflict errors the engine relies on observing.
-
-Constant subscripts (``dest[0]``), slice stores (``dest[:n]``) and
-tuple-index stores are exempt from ``KRN101``: a single thread updating
-one known cell, or a bulk phase-local initialization, is not a
-concurrent scatter.
+Exit codes: ``0`` clean, ``1`` rule findings, ``2`` usage error or
+unparseable source file (``KRN000`` — the offending path is printed to
+stderr so a broken file is never mistaken for a rule finding).
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Sequence
+
+from .static.extract import ModuleModel, Program, analyze_paths
+from .static.rules import rule_codes, run_rules
 
 __all__ = ["LintFinding", "lint_source", "lint_paths", "main"]
+
+#: the rule subset this alias runs (everything KRN-prefixed).
+KRN_CODES = frozenset(c for c in rule_codes() if c.startswith("KRN"))
 
 
 @dataclass(frozen=True)
@@ -59,132 +41,32 @@ class LintFinding:
         return f"{self.path}:{self.line}: {self.code} {self.message}"
 
 
-def _is_launch_call(node: ast.AST) -> bool:
-    """True for ``<anything>.launch(...)`` call expressions."""
-    return (isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "launch")
-
-
-def _is_constant_subscript(sub: ast.Subscript) -> bool:
-    """Subscripts that cannot be a concurrent scatter."""
-    sl = sub.slice
-    if isinstance(sl, (ast.Constant, ast.Slice)):
-        return True
-    if isinstance(sl, ast.UnaryOp) and isinstance(sl.operand, ast.Constant):
-        return True
-    if isinstance(sl, ast.Tuple):
-        return all(isinstance(e, (ast.Constant, ast.Slice)) for e in sl.elts)
-    return False
-
-
-class _KernelBlockVisitor(ast.NodeVisitor):
-    """Walks one ``with ...launch(...)`` block body."""
-
-    def __init__(self, linter: "_Linter", rec_names: set[str]) -> None:
-        self.linter = linter
-        self.rec_names = rec_names
-        self.rec_called = False
-
-    def visit_Call(self, node: ast.Call) -> None:
-        if isinstance(node.func, ast.Name) and node.func.id in self.rec_names:
-            self.rec_called = True
-        self.generic_visit(node)
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        for target in node.targets:
-            self._check_store(target)
-        self.generic_visit(node)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self._check_store(node.target)
-        self.generic_visit(node)
-
-    def _check_store(self, target: ast.AST) -> None:
-        if isinstance(target, ast.Subscript) \
-                and not _is_constant_subscript(target):
-            self.linter.add(target.lineno, "KRN101",
-                            "plain fancy store inside a kernel launch block; "
-                            "use vgpu.atomics.scatter_write or an atomic_* "
-                            "primitive so race semantics are modeled")
-
-    def visit_For(self, node: ast.For) -> None:
-        it = node.iter
-        if isinstance(it, ast.Call) and isinstance(it.func, ast.Name) \
-                and it.func.id == "range":
-            self.linter.add(node.lineno, "KRN102",
-                            "host-side Python loop over range() inside a "
-                            "vectorized kernel block; vectorize it or move "
-                            "it to an SPMD generator kernel")
-        self.generic_visit(node)
-
-    # Nested launch blocks are handled by the outer linter walk.
-    def visit_With(self, node: ast.With) -> None:
-        self.generic_visit(node)
-
-
-class _Linter(ast.NodeVisitor):
-    def __init__(self, path: str) -> None:
-        self.path = path
-        self.findings: list[LintFinding] = []
-
-    def add(self, line: int, code: str, message: str) -> None:
-        self.findings.append(LintFinding(self.path, line, code, message))
-
-    def visit_With(self, node: ast.With) -> None:
-        launch_items = [item for item in node.items
-                        if _is_launch_call(item.context_expr)]
-        if launch_items:
-            rec_names = {item.optional_vars.id for item in launch_items
-                         if isinstance(item.optional_vars, ast.Name)}
-            visitor = _KernelBlockVisitor(self, rec_names)
-            for stmt in node.body:
-                visitor.visit(stmt)
-            if rec_names and not visitor.rec_called:
-                self.add(node.lineno, "KRN103",
-                         "kernel launch block never records its operation "
-                         "counts (rec(...) not called); the cost model will "
-                         "price it as an empty dispatch")
-        self.generic_visit(node)
-
-    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
-        if node.type is None:
-            self.add(node.lineno, "KRN104",
-                     "bare except hides engine/geometry errors; catch "
-                     "specific exceptions")
-        self.generic_visit(node)
-
-
 def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
-    """Lint one module's source text; returns the findings."""
+    """Lint one module's source text; returns the findings.
+
+    A file that fails to parse yields a single ``KRN000`` finding (the
+    library API keeps its historical shape; the CLI maps ``KRN000`` to
+    exit code 2 instead of 1).
+    """
     try:
-        tree = ast.parse(source, filename=path)
+        module = ModuleModel(path, source)
     except SyntaxError as exc:
         return [LintFinding(path, exc.lineno or 0, "KRN000",
                             f"syntax error: {exc.msg}")]
-    linter = _Linter(path)
-    linter.visit(tree)
-    return sorted(linter.findings, key=lambda f: (f.line, f.code))
-
-
-def _iter_py_files(paths: Sequence[str]) -> Iterable[Path]:
-    for p in paths:
-        path = Path(p)
-        if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-        elif path.suffix == ".py":
-            yield path
+    program = Program(modules=[module])
+    return [LintFinding(f.path, f.line, f.code, f.message)
+            for f in run_rules(program, codes=KRN_CODES)]
 
 
 def lint_paths(paths: Sequence[str]) -> tuple[list[LintFinding], int]:
     """Lint files/directories; returns ``(findings, files_checked)``."""
-    findings: list[LintFinding] = []
-    checked = 0
-    for file in _iter_py_files(paths):
-        checked += 1
-        findings.extend(lint_source(file.read_text(encoding="utf-8"),
-                                    str(file)))
-    return findings, checked
+    program = analyze_paths(paths)
+    findings = [LintFinding(p, line, "KRN000", f"syntax error: {msg}")
+                for p, line, msg in program.syntax_errors]
+    findings.extend(LintFinding(f.path, f.line, f.code, f.message)
+                    for f in run_rules(program, codes=KRN_CODES))
+    checked = len(program.modules) + len(program.syntax_errors)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.code)), checked
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -200,10 +82,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                   file=sys.stderr)
         return 2
     findings, checked = lint_paths(argv)
+    # Unparseable files are a distinct failure mode from rule findings:
+    # the offending path goes to stderr and the run exits 2, not 1.
+    broken = [f for f in findings if f.code == "KRN000"]
+    findings = [f for f in findings if f.code != "KRN000"]
+    for f in broken:
+        print(f"{f.path}:{f.line}: KRN000 cannot parse file: {f.message}",
+              file=sys.stderr)
     for f in findings:
         print(f)
     status = "clean" if not findings else f"{len(findings)} finding(s)"
     print(f"repro.analysis.lint: {checked} file(s) checked, {status}")
+    if broken:
+        return 2
     return 1 if findings else 0
 
 

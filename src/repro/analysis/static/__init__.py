@@ -1,0 +1,45 @@
+"""``repro.analysis.static`` — whole-program kernel effect analyzer.
+
+The static counterpart of the :mod:`repro.analysis` *dynamic* race
+detector: instead of executing a failing input, it extracts a
+per-kernel **effect summary** (arrays read / written / atomically
+updated, allocator handles acquired / released, keyed by barrier
+interval) from the AST of every kernel site — launch-record regions,
+``with launcher.launch(...)`` blocks, and SPMD thread functions — with
+interprocedural propagation through the helper functions kernels call,
+then verifies whole-program rules over the summaries:
+
+=========  ==========================================================
+STA201     static write-write race (the §7.3 two-phase marking bug)
+STA202     barrier divergence in SPMD kernels
+STA203     allocator handle use-after-free / double-free
+STA204     unseeded RNG / ordering-sensitive iteration (determinism)
+STA205     effect-summary drift against ``docs/manifests/``
+KRN101-104 the folded AST lint rules (one registry, one finding type)
+=========  ==========================================================
+
+Run it as ``python -m repro.analysis.static src/repro`` (see
+``docs/STATIC_ANALYSIS.md`` for the rule catalog, suppression and
+baseline workflow, and the manifest format).
+"""
+
+from .extract import ModuleModel, Program, analyze_paths
+from .manifest import (MANIFEST_PACKAGES, build_manifests, load_manifests,
+                       write_manifests)
+from .model import (Access, Interval, KernelSummary, RngEvent,
+                    StaticFinding)
+from .report import render_json, render_sarif, render_text
+from .rules import RULES, Rule, rule_codes, run_rules
+from .suppress import (apply_baseline, apply_suppressions, load_baseline,
+                       parse_pragmas, write_baseline)
+
+__all__ = [
+    "Access", "Interval", "KernelSummary", "RngEvent", "StaticFinding",
+    "ModuleModel", "Program", "analyze_paths",
+    "Rule", "RULES", "rule_codes", "run_rules",
+    "MANIFEST_PACKAGES", "build_manifests", "load_manifests",
+    "write_manifests",
+    "apply_baseline", "apply_suppressions", "load_baseline",
+    "parse_pragmas", "write_baseline",
+    "render_json", "render_sarif", "render_text",
+]

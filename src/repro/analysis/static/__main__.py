@@ -1,0 +1,5 @@
+"""Module entry point: ``python -m repro.analysis.static``."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,171 @@
+"""Command-line entry point: ``python -m repro.analysis.static``.
+
+Typical invocations::
+
+    # whole-program verify (CI gate): exit 1 on any unsuppressed finding
+    python -m repro.analysis.static src/repro --manifests docs/manifests \\
+        --baseline .sta-baseline.json
+
+    # machine-readable reports
+    python -m repro.analysis.static src/repro --format sarif -o sta.sarif
+    python -m repro.analysis.static src/repro --format json --summaries
+
+    # regenerate the reviewed effect manifests after a kernel change
+    python -m repro.analysis.static src/repro --write-manifests docs/manifests
+
+Exit codes: ``0`` clean, ``1`` unsuppressed findings, ``2`` usage error
+or unparseable source file (the offending path is printed to stderr —
+distinct from rule findings so CI can tell the two apart).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .extract import analyze_paths
+from .manifest import load_manifests, write_manifests
+from .report import render_json, render_sarif, render_text
+from .rules import RULES, rule_codes, run_rules
+from .suppress import (apply_baseline, apply_suppressions, load_baseline,
+                       write_baseline)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.static",
+        description="Whole-program kernel effect analyzer: static "
+                    "race/barrier/lifetime/determinism verification with "
+                    "effect manifests.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to analyze "
+                             "(e.g. src/repro)")
+    parser.add_argument("--rules", metavar="CODES",
+                        help="comma-separated rule subset "
+                             "(default: all registered rules)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="report format")
+    parser.add_argument("-o", "--output", metavar="FILE",
+                        help="write the report to FILE instead of stdout")
+    parser.add_argument("--manifests", metavar="DIR",
+                        help="check effect summaries against the manifests "
+                             "in DIR (enables STA205)")
+    parser.add_argument("--write-manifests", metavar="DIR",
+                        help="regenerate the per-package effect manifests "
+                             "into DIR and exit")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="suppress findings fingerprinted in this "
+                             "baseline file")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write the current unsuppressed findings as a "
+                             "new baseline and exit")
+    parser.add_argument("--no-suppress", action="store_true",
+                        help="ignore inline '# sta: ignore[...]' pragmas")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="include suppressed findings in text output")
+    parser.add_argument("--summaries", action="store_true",
+                        help="include per-kernel effect summaries in JSON "
+                             "output")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the registered rules and exit")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code in rule_codes():
+            rule = RULES[code]
+            print(f"{code}  {rule.name}: {rule.summary}")
+        return 0
+
+    if not args.paths:
+        print("error: at least one path is required", file=sys.stderr)
+        return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        # A typo'd path in CI must not silently pass as "0 files, clean".
+        for p in missing:
+            print(f"{__package__}: error: no such path: {p}",
+                  file=sys.stderr)
+        return 2
+
+    codes = None
+    if args.rules:
+        codes = {c.strip().upper() for c in args.rules.split(",") if c.strip()}
+        unknown = codes - set(rule_codes())
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(sorted(unknown))}; "
+                  f"known: {', '.join(rule_codes())}", file=sys.stderr)
+            return 2
+
+    program = analyze_paths(args.paths)
+    # Unparseable files are a distinct failure mode (exit 2, path on
+    # stderr) so CI never mistakes a broken file for a clean run.
+    for path, line, msg in program.syntax_errors:
+        print(f"{path}:{line}: KRN000 cannot parse file: {msg}",
+              file=sys.stderr)
+
+    if args.write_manifests:
+        if program.syntax_errors:
+            return 2
+        written = write_manifests(program, args.write_manifests)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+
+    manifests = None
+    if args.manifests:
+        try:
+            manifests = load_manifests(args.manifests)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load manifests: {exc}", file=sys.stderr)
+            return 2
+
+    findings = run_rules(program, codes=codes, manifests=manifests)
+    if not args.no_suppress:
+        sources = {mod.path: mod.source for mod in program.modules}
+        kernel_lines = {k.key: k.line for k in program.kernels}
+        findings = apply_suppressions(findings, sources, kernel_lines)
+    if args.baseline:
+        try:
+            findings = apply_baseline(findings, load_baseline(args.baseline))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
+    if args.write_baseline:
+        n = write_baseline(findings, args.write_baseline)
+        print(f"wrote {args.write_baseline} ({n} entr{'y' if n == 1 else 'ies'})")
+        return 0
+
+    kernels = program.kernels
+    if args.format == "text":
+        report = render_text(findings, files_checked=len(program.modules),
+                             kernels=len(kernels),
+                             show_suppressed=args.show_suppressed)
+    elif args.format == "json":
+        report = render_json(findings, files_checked=len(program.modules),
+                             kernels=kernels, summaries=args.summaries)
+    else:
+        report = render_sarif(findings)
+
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        active = sum(1 for f in findings if f.suppressed is None)
+        print(f"wrote {args.output} ({len(findings)} finding(s), "
+              f"{active} unsuppressed)")
+    else:
+        print(report)
+
+    if program.syntax_errors:
+        return 2
+    return 1 if any(f.suppressed is None for f in findings) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

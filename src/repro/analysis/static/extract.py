@@ -1,0 +1,649 @@
+"""AST extraction of per-kernel effect summaries (the analyzer front end).
+
+The repository's kernels come in three syntactic idioms, all recognized
+here without executing anything:
+
+* **Launch-record regions** — the production pattern: a driver function
+  runs vectorized NumPy passes and closes each kernel with a one-shot
+  ``counter.launch("name", ..., barriers=N)`` record.  The statements
+  since the previous record (in source order) form that kernel's body.
+  Trailing statements after the last record belong to the last kernel.
+
+* **Launch blocks** — ``with launcher.launch("name") as rec:`` blocks;
+  the block body is the kernel body.
+
+* **SPMD thread functions** — functions handed to
+  :func:`repro.vgpu.kernel.spmd_launch`; every ``yield`` is a
+  device-wide barrier, so the generator's yields split the summary into
+  barrier intervals exactly as the executor would.
+
+Within a body, device effects are recognized from the substrate's
+vocabulary: ``scatter_write`` (plain concurrent store, with its
+``intent=``), the ``atomic_*`` / ``fetch_add_serialized`` /
+``atomic_cas_batch`` family (atomic updates), subscript loads/stores
+(host-serialized reads/writes), allocator traffic
+(``malloc``/``realloc``/``free``/``allocate``/``acquire``/``release``),
+``*.on_barrier()`` markers, and determinism hazards (unseeded RNG,
+iteration over unordered sets).
+
+**Interprocedural propagation**: a call to a same-module helper
+function is expanded in place — the helper's effects are substituted
+into the caller with the helper's parameter names rewritten to the
+caller's argument arrays (``_phase_read(marks, claims)`` contributes a
+read of *the caller's* ``marks``).  Helpers that are themselves
+kernel-bearing (contain launch records) or generators are summarized
+separately, not inlined.  Expansion is depth-limited and cycle-safe.
+
+Control flow inside a body is flattened in source order: the summary
+over-approximates "effects that may happen", which is the right
+direction for the race/lifetime rules and keeps manifests stable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .model import (ACQUIRE, ATOMIC, READ, RELEASE, STORE, Access, Interval,
+                    KernelSummary, RngEvent)
+
+__all__ = ["ModuleModel", "Program", "analyze_paths", "dotted_name"]
+
+#: device primitives modeling a plain concurrent (racy) store
+SCATTER_FNS = {"scatter_write"}
+#: device primitives modeling atomic read-modify-write batches
+ATOMIC_FNS = {"atomic_add", "atomic_min", "atomic_max", "atomic_or",
+              "atomic_cas_batch", "fetch_add_serialized"}
+#: method names that end a kernel region with a launch record
+MARKER_ATTRS = {"launch", "record"}
+#: method names marking a device-wide barrier in vectorized code
+BARRIER_ATTRS = {"on_barrier"}
+#: allocator methods that return a handle / release one
+ACQUIRE_ATTRS = {"malloc", "allocate", "acquire"}
+RELEASE_ATTRS = {"free", "release"}
+#: legacy ``np.random`` attributes that are *not* determinism hazards
+_SEEDED_RNG_OK = {"default_rng", "Generator", "SeedSequence", "PCG64"}
+#: helper-inlining depth bound (cycles are also guarded by name)
+MAX_HELPER_DEPTH = 3
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Dotted source name of an array expression (peeling subscripts)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    if isinstance(node, ast.Subscript):
+        return dotted_name(node.value)
+    return None
+
+
+# --------------------------------------------------------------------- #
+# event stream                                                          #
+# --------------------------------------------------------------------- #
+# A kernel body is summarized from a flat, source-ordered event stream.
+
+@dataclass(frozen=True)
+class _AccessEv:
+    access: Access
+
+
+@dataclass(frozen=True)
+class _BarrierEv:
+    line: int
+
+
+@dataclass(frozen=True)
+class _MarkerEv:
+    """A ``counter.launch("name", ...)`` record ending a kernel region."""
+
+    kernel: str
+    line: int
+    declared_barriers: int | None
+
+
+@dataclass(frozen=True)
+class _HelperEv:
+    name: str
+    line: int
+    argmap: dict = field(hash=False, default_factory=dict)
+
+
+@dataclass(frozen=True)
+class _RngEv:
+    event: RngEvent
+
+
+@dataclass
+class FunctionInfo:
+    node: ast.FunctionDef
+    qualname: str
+    params: tuple[str, ...]
+    str_defaults: dict[str, str]
+    is_generator: bool
+    stream: list = field(default_factory=list)
+    has_markers: bool = False
+
+
+def _is_launch_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "launch")
+
+
+def _is_launch_with(stmt: ast.With) -> bool:
+    return any(_is_launch_call(item.context_expr) for item in stmt.items)
+
+
+class _ExprVisitor(ast.NodeVisitor):
+    """Records effects of one expression tree onto the event stream."""
+
+    def __init__(self, builder: "_StreamBuilder") -> None:
+        self.b = builder
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        name = dotted_name(node.value)
+        if name is not None:
+            if isinstance(node.ctx, ast.Load):
+                self.b.access(READ, name, node.lineno)
+            else:
+                self.b.access(STORE, name, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:  # noqa: C901
+        self.b.handle_call(node)
+        self.generic_visit(node)
+
+    # Nested lambdas/comprehensions still contribute loads via
+    # generic_visit; nested defs are handled at statement level.
+
+
+class _StreamBuilder:
+    """Builds the flat event stream for one statement list."""
+
+    def __init__(self, module: "ModuleModel", fn: FunctionInfo | None) -> None:
+        self.module = module
+        self.fn = fn
+        self.events: list = []
+        self._expr = _ExprVisitor(self)
+
+    # -- event emitters ------------------------------------------------ #
+    def access(self, kind: str, array: str, line: int, *,
+               concurrent: bool = False, intent: str = "") -> None:
+        self.events.append(_AccessEv(Access(kind, array, line,
+                                            concurrent=concurrent,
+                                            intent=intent)))
+
+    def rng(self, line: int, what: str) -> None:
+        self.events.append(_RngEv(RngEvent(line, what)))
+
+    # -- call vocabulary ----------------------------------------------- #
+    def _call_tail(self, node: ast.Call) -> str | None:
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        return None
+
+    def _const_kwarg(self, node: ast.Call, name: str):
+        for kw in node.keywords:
+            if kw.arg == name and isinstance(kw.value, ast.Constant):
+                return kw.value.value
+        return None
+
+    def _marker_name(self, node: ast.Call) -> str:
+        """Kernel name of a launch record: a constant string, a parameter
+        whose default is a constant string, or ``<argname>``."""
+        if not node.args:
+            return "<launch>"
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        if isinstance(arg, ast.Name):
+            if self.fn is not None and arg.id in self.fn.str_defaults:
+                return self.fn.str_defaults[arg.id]
+            return f"<{arg.id}>"
+        return "<dynamic>"
+
+    def handle_call(self, node: ast.Call) -> None:  # noqa: C901
+        tail = self._call_tail(node)
+        line = node.lineno
+        if tail in SCATTER_FNS and node.args:
+            dest = dotted_name(node.args[0])
+            intent = self._const_kwarg(node, "intent") or "store"
+            if dest:
+                self.access(STORE, dest, line, concurrent=True, intent=intent)
+            for extra in node.args[1:3]:
+                name = dotted_name(extra)
+                if name:
+                    self.access(READ, name, line)
+            return
+        if tail in ATOMIC_FNS and node.args:
+            dest = dotted_name(node.args[0])
+            if dest:
+                self.access(ATOMIC, dest, line, concurrent=True)
+            for extra in node.args[1:3]:
+                name = dotted_name(extra)
+                if name:
+                    self.access(READ, name, line)
+            return
+        if isinstance(node.func, ast.Attribute):
+            if tail in MARKER_ATTRS:
+                barriers = self._const_kwarg(node, "barriers")
+                self.events.append(_MarkerEv(
+                    self._marker_name(node), line,
+                    barriers if isinstance(barriers, int) else None))
+                return
+            if tail in BARRIER_ATTRS:
+                self.events.append(_BarrierEv(line))
+                return
+            if tail in RELEASE_ATTRS and node.args:
+                name = dotted_name(node.args[0])
+                if name:
+                    self.access(RELEASE, name, line)
+                return
+            if tail == "realloc" and node.args:
+                name = dotted_name(node.args[0])
+                if name:
+                    self.access(RELEASE, name, line)
+                return
+        self._check_rng_call(node, tail, line)
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in self.module.functions):
+            self.events.append(_HelperEv(node.func.id, line,
+                                         self._argmap(node)))
+
+    def _check_rng_call(self, node: ast.Call, tail: str | None,
+                        line: int) -> None:
+        if tail == "default_rng" and not node.args and not node.keywords:
+            self.rng(line, "unseeded default_rng() — seed it from the "
+                           "driver so runs are reproducible")
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Attribute) and \
+                func.value.attr == "random" and \
+                isinstance(func.value.value, ast.Name) and \
+                func.value.value.id in ("np", "numpy") and \
+                func.attr not in _SEEDED_RNG_OK:
+            self.rng(line, f"legacy global np.random.{func.attr}() draws "
+                           "from hidden process-wide state")
+        elif isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id == "random":
+            self.rng(line, f"stdlib random.{func.attr}() draws from hidden "
+                           "process-wide state")
+
+    def _argmap(self, node: ast.Call) -> dict:
+        """Map a helper's parameter names to caller argument arrays."""
+        info = self.module.functions[node.func.id]  # type: ignore[union-attr]
+        argmap: dict[str, str] = {}
+        for param, arg in zip(info.params, node.args):
+            name = dotted_name(arg)
+            if name:
+                argmap[param] = name
+        for kw in node.keywords:
+            if kw.arg and kw.arg in info.params:
+                name = dotted_name(kw.value)
+                if name:
+                    argmap[kw.arg] = name
+        return argmap
+
+    # -- statement walk ------------------------------------------------ #
+    def walk(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:  # noqa: C901
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested defs are not part of this body's flow
+        if isinstance(stmt, ast.With):
+            if _is_launch_with(stmt):
+                return  # a launch block is its own kernel, not caller effects
+            for item in stmt.items:
+                self._expr.visit(item.context_expr)
+            self.walk(stmt.body)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._expr.visit(stmt.value)
+            self._acquire_targets(stmt)
+            for target in stmt.targets:
+                self._expr.visit(target)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._expr.visit(stmt.value)
+            if isinstance(stmt.target, ast.Subscript):
+                name = dotted_name(stmt.target.value)
+                if name:
+                    self.access(READ, name, stmt.lineno)
+                    self.access(STORE, name, stmt.lineno)
+            return
+        if isinstance(stmt, (ast.Expr, ast.Return)) and stmt.value is not None:
+            if isinstance(stmt.value, ast.Yield):
+                self.events.append(_BarrierEv(stmt.lineno))
+                if stmt.value.value is not None:
+                    self._expr.visit(stmt.value.value)
+            else:
+                self._expr.visit(stmt.value)
+            return
+        if isinstance(stmt, ast.For):
+            self._check_set_iteration(stmt)
+            self._expr.visit(stmt.iter)
+            self.walk(stmt.body)
+            self.walk(stmt.orelse)
+            return
+        for expr in ast.iter_child_nodes(stmt):
+            if isinstance(expr, ast.expr):
+                self._expr.visit(expr)
+        for blk in ("body", "orelse", "finalbody"):
+            self.walk(getattr(stmt, blk, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            self.walk(handler.body)
+
+    def _acquire_targets(self, stmt: ast.Assign) -> None:
+        """``h = alloc.malloc(...)`` / ``slots, tail = pool.allocate(...)``
+        acquire the first bound name; ``h = alloc.realloc(h, ...)``
+        re-acquires after the release recorded by the call walk."""
+        call = stmt.value
+        if not (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in ACQUIRE_ATTRS | {"realloc"}):
+            return
+        target = stmt.targets[0]
+        if isinstance(target, ast.Tuple) and target.elts:
+            target = target.elts[0]
+        name = dotted_name(target) if isinstance(
+            target, (ast.Name, ast.Attribute)) else None
+        if name:
+            self.access(ACQUIRE, name, stmt.lineno)
+
+    def _check_set_iteration(self, stmt: ast.For) -> None:
+        it = stmt.iter
+        is_set = isinstance(it, ast.Set) or (
+            isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+            and it.func.id in ("set", "frozenset"))
+        if is_set:
+            self.rng(stmt.lineno,
+                     "iteration order over an unordered set depends on "
+                     "PYTHONHASHSEED — sort it first")
+
+
+# --------------------------------------------------------------------- #
+# module + program models                                               #
+# --------------------------------------------------------------------- #
+
+class ModuleModel:
+    """Parsed module: functions, raw event streams, kernel summaries."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        #: module-level functions reachable as helpers by bare name
+        self.functions: dict[str, FunctionInfo] = {}
+        #: every function (incl. methods), for the kernel-bearing scan
+        self.all_functions: list[FunctionInfo] = []
+        self.kernels: list[KernelSummary] = []
+        self._collect_functions()
+        for info in self.all_functions:
+            builder = _StreamBuilder(self, info)
+            builder.walk(info.node.body)
+            info.stream = builder.events
+            info.has_markers = any(isinstance(ev, _MarkerEv)
+                                   for ev in info.stream)
+        self._build_kernels()
+
+    # -- discovery ----------------------------------------------------- #
+    def _collect_functions(self) -> None:
+        def walk(node: ast.AST, prefix: str, top: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}{child.name}"
+                    info = FunctionInfo(
+                        node=child, qualname=qual,
+                        params=self._params(child),
+                        str_defaults=self._str_defaults(child),
+                        is_generator=self._is_generator(child))
+                    self.all_functions.append(info)
+                    if top:
+                        self.functions[child.name] = info
+                    walk(child, f"{qual}.", False)
+                elif isinstance(child, ast.ClassDef):
+                    walk(child, f"{prefix}{child.name}.", False)
+        walk(self.tree, "", True)
+
+    @staticmethod
+    def _params(fn: ast.FunctionDef) -> tuple[str, ...]:
+        a = fn.args
+        return tuple(p.arg for p in [*a.posonlyargs, *a.args, *a.kwonlyargs])
+
+    @staticmethod
+    def _str_defaults(fn: ast.FunctionDef) -> dict[str, str]:
+        out: dict[str, str] = {}
+        a = fn.args
+        pos = [*a.posonlyargs, *a.args]
+        for param, default in zip(pos[len(pos) - len(a.defaults):],
+                                  a.defaults):
+            if isinstance(default, ast.Constant) and \
+                    isinstance(default.value, str):
+                out[param.arg] = default.value
+        for param, default in zip(a.kwonlyargs, a.kw_defaults):
+            if isinstance(default, ast.Constant) and \
+                    isinstance(default.value, str):
+                out[param.arg] = default.value
+        return out
+
+    @staticmethod
+    def _is_generator(fn: ast.FunctionDef) -> bool:
+        stack: list[ast.AST] = list(fn.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue  # nested defs have their own generator-ness
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            stack.extend(ast.iter_child_nodes(node))
+        return False
+
+    # -- helper expansion ---------------------------------------------- #
+    def _expand(self, events: list, depth: int = 0,
+                seen: tuple = (), via: str = "",
+                argmap: dict | None = None,
+                helpers: list | None = None) -> list:
+        out: list = []
+        for ev in events:
+            if isinstance(ev, _HelperEv):
+                if helpers is not None:
+                    helpers.append(ev.name)
+                info = self.functions.get(ev.name)
+                if (info is None or info.has_markers or info.is_generator
+                        or depth >= MAX_HELPER_DEPTH or ev.name in seen):
+                    continue
+                sub = self._expand(info.stream, depth + 1,
+                                   seen + (ev.name,),
+                                   via=f"{via}>{ev.name}" if via else ev.name,
+                                   argmap=ev.argmap, helpers=helpers)
+                out.extend(sub)
+                continue
+            if argmap is not None and isinstance(ev, _AccessEv):
+                acc = ev.access
+                head, _, rest = acc.array.partition(".")
+                if head in argmap:
+                    renamed = argmap[head] + (f".{rest}" if rest else "")
+                    acc = Access(acc.kind, renamed, acc.line,
+                                 concurrent=acc.concurrent,
+                                 intent=acc.intent, via=via)
+                else:
+                    acc = Access(acc.kind, acc.array, acc.line,
+                                 concurrent=acc.concurrent,
+                                 intent=acc.intent, via=via)
+                out.append(_AccessEv(acc))
+                continue
+            if argmap is not None and isinstance(ev, _RngEv):
+                out.append(_RngEv(RngEvent(ev.event.line, ev.event.what,
+                                           via=via)))
+                continue
+            out.append(ev)
+        return out
+
+    # -- summaries ------------------------------------------------------ #
+    def _summary_from_events(self, events: list, *, qualname: str,
+                             kernel: str, line: int, kind: str,
+                             declared_barriers: int | None = None,
+                             helpers: tuple[str, ...] = (),
+                             generator: bool = False,
+                             node: ast.AST | None = None) -> KernelSummary:
+        intervals = [Interval(0)]
+        rng_events: list[RngEvent] = []
+        for ev in events:
+            if isinstance(ev, _BarrierEv):
+                intervals.append(Interval(len(intervals)))
+            elif isinstance(ev, _AccessEv):
+                intervals[-1].accesses.append(ev.access)
+            elif isinstance(ev, _RngEv):
+                rng_events.append(ev.event)
+        return KernelSummary(path=self.path, qualname=qualname, kernel=kernel,
+                             line=line, kind=kind, generator=generator,
+                             intervals=intervals,
+                             declared_barriers=declared_barriers,
+                             helpers=helpers, rng_events=rng_events,
+                             node=node)
+
+    def _build_kernels(self) -> None:
+        for info in self.all_functions:
+            if info.has_markers:
+                self._region_kernels(info)
+            self._block_and_spmd_kernels(info)
+
+    def _region_kernels(self, info: FunctionInfo) -> None:
+        helpers: list[str] = []
+        events = self._expand(info.stream, helpers=helpers)
+        regions: list[tuple[_MarkerEv, list]] = []
+        pending: list = []
+        for ev in events:
+            if isinstance(ev, _MarkerEv):
+                regions.append((ev, pending))
+                pending = []
+            else:
+                pending.append(ev)
+        if pending and regions:
+            regions[-1] = (regions[-1][0], regions[-1][1] + pending)
+        for marker, body in regions:
+            self.kernels.append(self._summary_from_events(
+                body, qualname=info.qualname, kernel=marker.kernel,
+                line=marker.line, kind="region",
+                declared_barriers=marker.declared_barriers,
+                helpers=tuple(helpers)))
+
+    def _block_and_spmd_kernels(self, info: FunctionInfo) -> None:
+        for stmt in ast.walk(info.node):
+            if isinstance(stmt, ast.With) and _is_launch_with(stmt):
+                self._launch_block_kernel(info, stmt)
+            elif isinstance(stmt, ast.Call) and self._is_spmd_call(stmt):
+                self._spmd_kernel(info, stmt)
+
+    def _launch_block_kernel(self, info: FunctionInfo,
+                             stmt: ast.With) -> None:
+        launch = next(item.context_expr for item in stmt.items
+                      if _is_launch_call(item.context_expr))
+        builder = _StreamBuilder(self, info)
+        builder.walk(stmt.body)
+        helpers: list[str] = []
+        events = self._expand(builder.events, helpers=helpers)
+        name = builder._marker_name(launch)  # noqa: SLF001 — same module
+        self.kernels.append(self._summary_from_events(
+            events, qualname=info.qualname, kernel=name, line=stmt.lineno,
+            kind="launch-block", helpers=tuple(helpers)))
+
+    @staticmethod
+    def _is_spmd_call(node: ast.Call) -> bool:
+        return ((isinstance(node.func, ast.Name)
+                 and node.func.id == "spmd_launch")
+                or (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "spmd_launch"))
+
+    def _spmd_kernel(self, info: FunctionInfo, call: ast.Call) -> None:
+        if len(call.args) < 2 or not isinstance(call.args[1], ast.Name):
+            return
+        target = self.functions.get(call.args[1].id)
+        if target is None:
+            return
+        name = target.node.name
+        for kw in call.keywords:
+            if kw.arg == "name" and isinstance(kw.value, ast.Constant):
+                name = str(kw.value.value)
+        helpers: list[str] = []
+        events = self._expand(target.stream, helpers=helpers)
+        self.kernels.append(self._summary_from_events(
+            events, qualname=target.qualname, kernel=name,
+            line=call.lineno, kind="spmd", helpers=tuple(helpers),
+            generator=target.is_generator, node=target.node))
+
+
+@dataclass
+class Program:
+    """Whole-program view handed to the rules: every parsed module, every
+    kernel summary, and the files that failed to parse."""
+
+    modules: list[ModuleModel] = field(default_factory=list)
+    syntax_errors: list[tuple[str, int, str]] = field(default_factory=list)
+
+    @property
+    def kernels(self) -> list[KernelSummary]:
+        out: list[KernelSummary] = []
+        for mod in self.modules:
+            out.extend(mod.kernels)
+        # Disambiguate duplicate keys (same kernel name launched twice
+        # from one function) so manifests stay one-entry-per-kernel.
+        seen: dict[str, int] = {}
+        uniq: list[KernelSummary] = []
+        for k in sorted(out, key=lambda k: (k.path, k.line)):
+            n = seen.get(k.key, 0)
+            seen[k.key] = n + 1
+            if n:
+                k = KernelSummary(path=k.path, qualname=k.qualname,
+                                  kernel=f"{k.kernel}#{n + 1}", line=k.line,
+                                  kind=k.kind, generator=k.generator,
+                                  intervals=k.intervals,
+                                  declared_barriers=k.declared_barriers,
+                                  helpers=k.helpers,
+                                  rng_events=k.rng_events, node=k.node)
+            uniq.append(k)
+        return uniq
+
+
+def analyze_paths(paths, *, root=None) -> Program:
+    """Parse and summarize every ``*.py`` under ``paths``.
+
+    Files that fail to parse are collected on
+    :attr:`Program.syntax_errors` (path, line, message) rather than
+    aborting the whole run — the CLI turns them into a distinct exit
+    code so CI can tell "broken file" from "rule findings".
+    """
+    from pathlib import Path
+
+    program = Program()
+    files: list[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    for file in files:
+        text = file.read_text(encoding="utf-8")
+        rel = file
+        if root is not None:
+            try:
+                rel = file.relative_to(root)
+            except ValueError:
+                rel = file
+        try:
+            program.modules.append(ModuleModel(rel.as_posix(), text))
+        except SyntaxError as exc:
+            program.syntax_errors.append(
+                (rel.as_posix(), exc.lineno or 0, exc.msg or "syntax error"))
+    return program

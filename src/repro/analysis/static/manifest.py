@@ -1,0 +1,64 @@
+"""Effect-manifest I/O (the reviewed artifact under ``docs/manifests/``).
+
+One JSON file per core package maps kernel keys
+(``path::function::kernel``) to their effect summaries.  Regenerating
+is always mechanical (``--write-manifests``); the point is that the
+*diff* of a manifest shows up in code review whenever a kernel's memory
+behavior changes, which is the declarative kernel-spec front end the
+multi-backend roadmap item needs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .extract import Program
+from .model import MANIFEST_FORMAT
+from .rules import kernel_package
+
+__all__ = ["MANIFEST_PACKAGES", "load_manifests", "write_manifests",
+           "build_manifests"]
+
+#: packages whose kernels carry checked-in golden manifests
+MANIFEST_PACKAGES = ("core", "dmr", "meshing", "mst", "pta", "satsp", "vgpu")
+
+
+def build_manifests(program: Program,
+                    packages=MANIFEST_PACKAGES) -> dict[str, dict]:
+    """package -> manifest dict for every requested package."""
+    out = {pkg: {"format": MANIFEST_FORMAT, "package": pkg, "kernels": {}}
+           for pkg in packages}
+    for k in program.kernels:
+        pkg = kernel_package(k.path)
+        if pkg in out:
+            out[pkg]["kernels"][k.key] = k.manifest_entry()
+    for manifest in out.values():
+        manifest["kernels"] = dict(sorted(manifest["kernels"].items()))
+    return out
+
+
+def write_manifests(program: Program, directory: str | Path,
+                    packages=MANIFEST_PACKAGES) -> list[Path]:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for pkg, manifest in build_manifests(program, packages).items():
+        path = directory / f"{pkg}.json"
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def load_manifests(directory: str | Path) -> dict[str, dict]:
+    """Load every ``*.json`` manifest in ``directory`` (package-keyed)."""
+    directory = Path(directory)
+    out: dict[str, dict] = {}
+    for path in sorted(directory.glob("*.json")):
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("format") != MANIFEST_FORMAT:
+            raise ValueError(f"unrecognized manifest format in {path}: "
+                             f"{data.get('format')!r}")
+        out[data.get("package", path.stem)] = data
+    return out

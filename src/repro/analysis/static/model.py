@@ -1,0 +1,161 @@
+"""Data model for the whole-program kernel effect analyzer.
+
+The analyzer's currency is the **effect summary**: for every kernel
+site it records which arrays the kernel reads, stores to, updates
+atomically, and which allocator handles it acquires/releases — keyed
+by *barrier interval* (the stretch of kernel code between two
+device-wide barriers).  Summaries are what the rules (STA201–205)
+check, and their JSON encoding is the checked-in manifest format under
+``docs/manifests/`` (rule STA205 fails when code and manifest drift).
+
+Array identity is the *dotted source name* of the subscripted value
+(``marks``, ``claims.values``, ``self.points``) — a static
+approximation of the device allocation, which is exactly the precision
+the vectorized-NumPy kernel idiom supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Access", "Interval", "RngEvent", "KernelSummary", "StaticFinding",
+    "MANIFEST_FORMAT", "READ", "STORE", "ATOMIC", "ACQUIRE", "RELEASE",
+]
+
+#: manifest schema identifier written to every ``docs/manifests/*.json``
+MANIFEST_FORMAT = "repro.effects/1"
+
+READ = "read"          #: subscripted load of an array
+STORE = "store"        #: plain (non-atomic) store; racy when concurrent
+ATOMIC = "atomic"      #: atomic_* / fetch_add / CAS read-modify-write
+ACQUIRE = "acquire"    #: allocator handle obtained (malloc/allocate/acquire)
+RELEASE = "release"    #: allocator handle returned (free/release)
+
+
+@dataclass(frozen=True)
+class Access:
+    """One array effect observed inside a kernel body.
+
+    ``concurrent`` is True for the device primitives that model many
+    threads touching memory in one batch (``scatter_write``, the
+    ``atomic_*`` family); a host-serialized subscript store is not
+    concurrent.  ``intent`` carries ``scatter_write(..., intent=)``
+    (``"mark"`` tags §7.3 marking-protocol traffic).  ``via`` names the
+    helper-function chain the effect was propagated through, empty for
+    direct effects.
+    """
+
+    kind: str
+    array: str
+    line: int
+    concurrent: bool = False
+    intent: str = ""
+    via: str = ""
+
+
+@dataclass(frozen=True)
+class RngEvent:
+    """A determinism hazard observed inside a kernel body (STA204)."""
+
+    line: int
+    what: str
+    via: str = ""
+
+
+@dataclass
+class Interval:
+    """Effects of one barrier interval (between two device barriers)."""
+
+    index: int
+    accesses: list[Access] = field(default_factory=list)
+
+    def arrays(self, *kinds: str, concurrent: bool | None = None) -> set[str]:
+        return {a.array for a in self.accesses
+                if a.kind in kinds
+                and (concurrent is None or a.concurrent == concurrent)}
+
+    def accesses_of(self, kind: str, array: str | None = None) -> list[Access]:
+        return [a for a in self.accesses if a.kind == kind
+                and (array is None or a.array == array)]
+
+
+@dataclass
+class KernelSummary:
+    """Per-kernel effect summary.
+
+    ``kind`` distinguishes the three launch idioms the extractor
+    understands: ``"region"`` (statements attributed to a one-shot
+    ``counter.launch("name", ...)`` record), ``"launch-block"``
+    (``with launcher.launch("name") as rec:``), and ``"spmd"`` (a
+    thread function handed to :func:`repro.vgpu.kernel.spmd_launch`,
+    where every ``yield`` is a device-wide barrier).
+    """
+
+    path: str
+    qualname: str
+    kernel: str
+    line: int
+    kind: str
+    generator: bool = False
+    intervals: list[Interval] = field(default_factory=list)
+    declared_barriers: int | None = None
+    helpers: tuple[str, ...] = ()
+    rng_events: list[RngEvent] = field(default_factory=list)
+    #: AST node of the SPMD thread function (STA202); not serialized.
+    node: object | None = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.path}::{self.qualname}::{self.kernel}"
+
+    def arrays(self, *kinds: str, concurrent: bool | None = None) -> set[str]:
+        out: set[str] = set()
+        for iv in self.intervals:
+            out |= iv.arrays(*kinds, concurrent=concurrent)
+        return out
+
+    def manifest_entry(self) -> dict:
+        """The reviewed-artifact encoding checked in under
+        ``docs/manifests/`` — line numbers are deliberately excluded so
+        moving code without changing its effects is not drift."""
+        return {
+            "function": self.qualname,
+            "kind": self.kind,
+            "intervals": len(self.intervals),
+            "declared_barriers": self.declared_barriers,
+            "reads": sorted(self.arrays(READ)),
+            "writes": sorted(self.arrays(STORE)),
+            "atomics": sorted(self.arrays(ATOMIC)),
+            "acquires": sorted(self.arrays(ACQUIRE)),
+            "releases": sorted(self.arrays(RELEASE)),
+            "helpers": sorted(set(self.helpers)),
+        }
+
+
+@dataclass(frozen=True)
+class StaticFinding:
+    """One analyzer finding — shared by the STA and folded KRN rules.
+
+    ``kernel`` attributes the finding to a kernel summary key (empty
+    for module-level findings such as KRN104).  ``suppressed`` carries
+    the inline-pragma reason once suppression matching has run.
+    """
+
+    path: str
+    line: int
+    code: str
+    message: str
+    kernel: str = ""
+    array: str = ""
+    suppressed: str | None = None
+
+    def __str__(self) -> str:
+        where = f" [{self.kernel}]" if self.kernel else ""
+        sup = f" (suppressed: {self.suppressed})" if self.suppressed else ""
+        return f"{self.path}:{self.line}: {self.code}{where} {self.message}{sup}"
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-insensitive identity used by the baseline file."""
+        return (self.path, self.code, self.kernel or self.array)

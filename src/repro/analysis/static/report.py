@@ -1,0 +1,104 @@
+"""Text / JSON / SARIF rendering of analyzer results.
+
+The SARIF output is a minimal SARIF 2.1.0 document (tool + rules +
+results with physical locations) so CI can upload it as an artifact and
+code-scanning UIs can ingest it; suppressed findings are carried with a
+SARIF ``suppressions`` entry rather than dropped, preserving the audit
+trail.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .model import StaticFinding
+from .rules import RULES
+
+__all__ = ["render_text", "render_json", "render_sarif"]
+
+TOOL_NAME = "repro.analysis.static"
+TOOL_VERSION = "1.0"
+
+
+def render_text(findings: list[StaticFinding], *, files_checked: int,
+                kernels: int, show_suppressed: bool = False) -> str:
+    lines = []
+    active = [f for f in findings if f.suppressed is None]
+    shown = findings if show_suppressed else active
+    for f in shown:
+        lines.append(str(f))
+    n_sup = len(findings) - len(active)
+    status = "clean" if not active else f"{len(active)} finding(s)"
+    if n_sup:
+        status += f", {n_sup} suppressed"
+    lines.append(f"{TOOL_NAME}: {files_checked} file(s), {kernels} kernel "
+                 f"summarie(s), {status}")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[StaticFinding], *, files_checked: int,
+                kernels, summaries: bool = False) -> str:
+    doc = {
+        "tool": TOOL_NAME,
+        "version": TOOL_VERSION,
+        "files_checked": files_checked,
+        "kernels": len(kernels),
+        "findings": [
+            {"path": f.path, "line": f.line, "code": f.code,
+             "message": f.message, "kernel": f.kernel, "array": f.array,
+             "suppressed": f.suppressed}
+            for f in findings
+        ],
+    }
+    if summaries:
+        doc["summaries"] = {k.key: k.manifest_entry() for k in kernels}
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _level(finding: StaticFinding) -> str:
+    return "warning" if finding.code == "STA204" else "error"
+
+
+def render_sarif(findings: list[StaticFinding]) -> str:
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.code,
+            "level": _level(f),
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+        }
+        if f.kernel:
+            result["properties"] = {"kernel": f.kernel}
+        if f.suppressed is not None:
+            result["suppressions"] = [{
+                "kind": "inSource",
+                "justification": f.suppressed,
+            }]
+        results.append(result)
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": TOOL_NAME,
+                "version": TOOL_VERSION,
+                "informationUri":
+                    "https://github.com/anon/repro/blob/main/docs/"
+                    "STATIC_ANALYSIS.md",
+                "rules": [
+                    {"id": rule.code,
+                     "name": rule.name,
+                     "shortDescription": {"text": rule.summary}}
+                    for rule in (RULES[c] for c in sorted(RULES))
+                ],
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

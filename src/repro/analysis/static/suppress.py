@@ -1,0 +1,123 @@
+"""Inline suppressions and the checked-in baseline file.
+
+Two mechanisms keep the analyzer's exit code meaningful on a codebase
+with *intended* single-writer patterns (the §7.3 two-phase demo, the
+test-only unseeded-RNG fallback in ``spmd_launch``):
+
+* **Inline pragmas** — ``# sta: ignore[STA201] reason`` on the finding
+  line, on a standalone comment line directly above it (for calls too
+  long to carry a trailing comment), or on the header line of the
+  enclosing function / launch statement suppresses that rule there,
+  with the reason kept as documentation.  Several codes may share one
+  pragma: ``# sta: ignore[STA201,STA204] reason``.
+
+* **Baseline file** — a JSON list of line-insensitive fingerprints
+  (``path`` + ``code`` + kernel/array) for findings that are accepted
+  debt.  CI passes ``--baseline .sta-baseline.json``; anything not in
+  the baseline fails the build, so new findings cannot land silently
+  while old ones are being paid down.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from .model import StaticFinding
+
+__all__ = ["parse_pragmas", "apply_suppressions", "load_baseline",
+           "apply_baseline", "write_baseline", "BASELINE_FORMAT"]
+
+BASELINE_FORMAT = "repro.sta-baseline/1"
+
+_PRAGMA = re.compile(r"#\s*sta:\s*ignore\[([A-Z0-9,\s]+)\]\s*(.*)$")
+
+
+def parse_pragmas(source: str) -> dict[int, tuple[set[str], str]]:
+    """line number -> (suppressed codes, reason).
+
+    A pragma on a *standalone* comment line applies to the next line
+    as well, so long calls can carry the pragma just above them.
+    """
+    out: dict[int, tuple[set[str], str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA.search(line)
+        if not m:
+            continue
+        codes = {c.strip() for c in m.group(1).split(",") if c.strip()}
+        entry = (codes, m.group(2).strip() or "no reason given")
+        out[lineno] = entry
+        if line.lstrip().startswith("#"):
+            out.setdefault(lineno + 1, entry)
+    return out
+
+
+def _kernel_header_lines(finding: StaticFinding, headers: dict) -> list[int]:
+    """Candidate pragma lines for a finding: its own line plus the
+    header line of the kernel it is attributed to (if any)."""
+    lines = [finding.line]
+    if finding.kernel and finding.kernel in headers:
+        lines.append(headers[finding.kernel])
+    return lines
+
+
+def apply_suppressions(findings: list[StaticFinding], sources: dict,
+                       kernel_lines: dict | None = None
+                       ) -> list[StaticFinding]:
+    """Mark findings whose line (or kernel header line) carries a
+    matching pragma; returns new findings with ``suppressed`` set."""
+    pragmas = {path: parse_pragmas(src) for path, src in sources.items()}
+    kernel_lines = kernel_lines or {}
+    out: list[StaticFinding] = []
+    for f in findings:
+        per_file = pragmas.get(f.path, {})
+        reason = None
+        for line in _kernel_header_lines(f, kernel_lines):
+            hit = per_file.get(line)
+            if hit and f.code in hit[0]:
+                reason = hit[1]
+                break
+        if reason is not None:
+            f = StaticFinding(f.path, f.line, f.code, f.message,
+                              kernel=f.kernel, array=f.array,
+                              suppressed=reason)
+        out.append(f)
+    return out
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("format") != BASELINE_FORMAT:
+        raise ValueError(f"unrecognized baseline format in {path}: "
+                         f"{data.get('format')!r}")
+    return {(e["path"], e["code"], e.get("context", ""))
+            for e in data.get("entries", [])}
+
+
+def apply_baseline(findings: list[StaticFinding],
+                   baseline: set[tuple[str, str, str]]
+                   ) -> list[StaticFinding]:
+    """Mark unsuppressed findings whose fingerprint is baselined."""
+    out = []
+    for f in findings:
+        if f.suppressed is None and f.fingerprint in baseline:
+            f = StaticFinding(f.path, f.line, f.code, f.message,
+                              kernel=f.kernel, array=f.array,
+                              suppressed="baselined")
+        out.append(f)
+    return out
+
+
+def write_baseline(findings: list[StaticFinding], path: str | Path) -> int:
+    """Write the fingerprints of the given (active) findings; returns
+    the entry count.  Deterministic ordering so the file diffs cleanly."""
+    entries = sorted({f.fingerprint for f in findings if f.suppressed is None})
+    payload = {
+        "format": BASELINE_FORMAT,
+        "entries": [{"path": p, "code": c, "context": k}
+                    for p, c, k in entries],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+    return len(entries)

@@ -240,6 +240,7 @@ def two_phase_mark(
     # Thread keeps the element if it sees itself or something weaker.
     keeps = priorities[rows] >= priorities[seen]
     upgrade = priorities[rows] > priorities[seen]
+    # sta: ignore[STA201] intentional §7.3 two-phase demo — the race this rule exists to catch
     scatter_write(marks, claims.values[upgrade], rows[upgrade], rng,
                   tids=rows[upgrade], intent="mark")
     lost = np.zeros(n_threads, dtype=bool)

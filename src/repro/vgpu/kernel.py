@@ -121,7 +121,7 @@ def spmd_launch(
     the classic ``__syncthreads`` divergence bug on real hardware, so
     the checker reports them as findings rather than raising.
     """
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng()  # sta: ignore[STA204] caller-controlled test fallback
     fault_kernel(name)
     san = current_sanitizer()
     if not inspect.isgeneratorfunction(thread_fn):

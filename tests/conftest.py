@@ -30,6 +30,11 @@ def pytest_addoption(parser):
         help="run only the chaos tests: seeded device-fault injection "
              "against every driver, asserting graceful degradation "
              "(byte-identical digests) or typed ReproError failures")
+    parser.addoption(
+        "--static", action="store_true", default=False,
+        help="run only the static-verify tests: the repro.analysis.static "
+             "whole-program gate (src/repro clean, fixtures match golden "
+             "findings, manifests current)")
 
 
 def _select_marked(config, items, marker: str):
@@ -49,6 +54,9 @@ def pytest_collection_modifyitems(config, items):
     if config.getoption("--chaos"):
         _select_marked(config, items, "chaos")
         return
+    if config.getoption("--static"):
+        _select_marked(config, items, "static")
+        return
     # Chaos tests are opt-in: they deliberately fail the virtual device,
     # so the default (tier-1) run skips them.
     skip = pytest.mark.skip(reason="chaos tests run only with --chaos")
@@ -66,6 +74,10 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "chaos: seeded device-fault chaos test; opt-in via --chaos")
+    config.addinivalue_line(
+        "markers",
+        "static: static-verify gate test (repro.analysis.static); "
+        "selectable alone via --static")
 
 
 @pytest.fixture(autouse=True)

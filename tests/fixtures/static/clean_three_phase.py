@@ -1,0 +1,23 @@
+"""Clean fixture: the paper's three-phase marking protocol.
+
+Structurally identical to ``two_phase_race.two_phase`` except for the
+final read-only check interval after a barrier — which is exactly what
+STA201 looks for.  The analyzer must report zero findings here.
+
+Never imported at runtime; analyzed as AST only by the golden tests.
+"""
+
+from repro.vgpu.atomics import scatter_write
+
+
+def three_phase(ctr, san, marks, rows, values, priorities, rng):
+    scatter_write(marks, values, rows, rng, tids=rows, intent="mark")
+    san.on_barrier()
+    seen = marks[values]
+    upgrade = priorities[rows] > priorities[seen]
+    scatter_write(marks, values[upgrade], rows[upgrade], rng,
+                  tids=rows[upgrade], intent="mark")
+    san.on_barrier()
+    winners = marks[values] == rows
+    ctr.launch("mark3", items=rows.size, barriers=2)
+    return winners

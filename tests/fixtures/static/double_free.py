@@ -1,0 +1,24 @@
+"""Known-bad fixture: STA203 allocator-lifetime violations.
+
+``release_twice`` frees one device allocation twice (double-free);
+``stale_read`` reads a recycle-pool handle after releasing it
+(use-after-free).  Both are straight-line — no branch merging is
+needed to prove them.
+
+Never imported at runtime; analyzed as AST only by the golden tests.
+"""
+
+
+def release_twice(alloc, n):
+    buf = alloc.malloc(n)
+    buf[:] = 0
+    alloc.free(buf)
+    alloc.free(buf)
+    return True
+
+
+def stale_read(pool, need, n_tris):
+    slots, tail = pool.allocate(need, n_tris)
+    pool.release(slots)
+    total = int(slots.sum())
+    return total, tail

@@ -1,0 +1,29 @@
+"""Known-bad fixture: STA202 barrier divergence in SPMD kernels.
+
+``diverging_worker`` yields (a device-wide barrier) under an
+unbalanced conditional; ``retry_worker`` yields inside a while loop
+whose trip count differs per thread.  Both are the classic
+``__syncthreads``-divergence bug, caught without running a thread.
+
+Never imported at runtime; analyzed as AST only by the golden tests.
+"""
+
+from repro.vgpu.kernel import spmd_launch
+
+
+def diverging_worker(tid, marks):
+    if tid % 2 == 0:
+        marks[tid] = 1
+        yield
+    marks[tid] += 1
+
+
+def retry_worker(tid, locks):
+    while locks[tid] == 0:
+        yield
+    locks[tid] = 2
+
+
+def run(marks, locks):
+    spmd_launch(marks.size, diverging_worker, marks, name="diverge")
+    spmd_launch(locks.size, retry_worker, locks, name="retry")

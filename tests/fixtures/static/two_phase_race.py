@@ -1,0 +1,30 @@
+"""Known-bad fixture: STA201 static write-write race.
+
+``two_phase`` reproduces the §7.3 two-phase marking shape — the second
+(prioritycheck) interval reads ``marks`` and concurrently stores to it
+with no later read-only check phase.  ``double_scatter`` is the plain
+form: two unsynchronized concurrent stores to one array inside a
+single barrier interval.
+
+Never imported at runtime; analyzed as AST only by the golden tests.
+"""
+
+from repro.vgpu.atomics import scatter_write
+
+
+def two_phase(ctr, san, marks, rows, values, priorities, rng):
+    scatter_write(marks, values, rows, rng, tids=rows, intent="mark")
+    san.on_barrier()
+    seen = marks[values]
+    upgrade = priorities[rows] > priorities[seen]
+    scatter_write(marks, values[upgrade], rows[upgrade], rng,
+                  tids=rows[upgrade], intent="mark")
+    ctr.launch("mark2", items=rows.size, barriers=1)
+    return marks
+
+
+def double_scatter(ctr, dest, idx_a, idx_b, vals, rng):
+    scatter_write(dest, idx_a, vals, rng)
+    scatter_write(dest, idx_b, vals, rng)
+    ctr.launch("clash", items=idx_a.size)
+    return dest

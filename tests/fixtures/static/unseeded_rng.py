@@ -1,0 +1,24 @@
+"""Known-bad fixture: STA204 nondeterministic kernels.
+
+``jitter_kernel`` draws from an unseeded ``default_rng()``;
+``order_kernel`` iterates over an unordered set.  Both make a kernel's
+output irreproducible across runs.
+
+Never imported at runtime; analyzed as AST only by the golden tests.
+"""
+
+import numpy as np
+
+
+def jitter_kernel(ctr, dest):
+    rng = np.random.default_rng()
+    dest[: dest.size] = rng.random(dest.size)
+    ctr.launch("jitter", items=dest.size)
+    return dest
+
+
+def order_kernel(ctr, out, items):
+    for value in set(items):
+        out.append(value)
+    ctr.launch("drain", items=len(items))
+    return out

@@ -1,0 +1,61 @@
+"""Scenario-replay benchmark: what does the regression gate cost?
+
+Replays the whole checked-in corpus (``tests/scenarios/``) through
+:func:`repro.scenarios.verify_paths` — the exact code path CI gates on
+— and reports per-scenario replay wall time plus the corpus total.
+The point of the number is budgeting: the corpus is meant to be cheap
+enough to replay on every push, and this trajectory is where we notice
+it stops being cheap.
+
+Every replay must reproduce its goldens; a mismatch fails the
+benchmark rather than producing a misleading timing for a broken
+corpus.
+
+Emits ``BENCH_scenarios.json`` (schema ``repro.bench/1``) with one row
+per scenario and a ``corpus`` total row.
+"""
+
+from __future__ import annotations
+
+import time
+
+from harness import REPO_DIR, emit, emit_bench, fmt_time, table
+
+from repro.scenarios import verify_paths
+
+CORPUS_DIR = REPO_DIR / "tests" / "scenarios"
+
+
+def test_scenario_replay_benchmark():
+    t0 = time.perf_counter()
+    corpus = verify_paths([CORPUS_DIR])
+    total_wall = time.perf_counter() - t0
+
+    assert not corpus.errors, corpus.errors
+    assert corpus.reports, f"no scenarios found under {CORPUS_DIR}"
+    bad = [r for r in corpus.reports if not r.ok]
+    assert not bad, {r.scenario: [j.to_dict() for j in r.failed]
+                     for r in bad}
+
+    rows, bench_rows = [], []
+    n_jobs = 0
+    for r in sorted(corpus.reports, key=lambda r: r.scenario):
+        n_jobs += len(r.jobs)
+        rows.append([r.scenario, str(len(r.jobs)), fmt_time(r.wall_s),
+                     "ok"])
+        bench_rows.append({"scenario": r.scenario, "jobs": len(r.jobs),
+                           "replay_wall_s": round(r.wall_s, 4),
+                           "ok": True})
+    rows.append(["total", str(n_jobs), fmt_time(total_wall),
+                 f"{len(corpus.reports)} scenarios"])
+    bench_rows.append({"scenario": "corpus", "jobs": n_jobs,
+                       "scenarios": len(corpus.reports),
+                       "replay_wall_s": round(total_wall, 4), "ok": True})
+
+    text = table(["scenario", "jobs", "replay wall", "status"], rows)
+    emit("scenario_replay", text)
+    emit_bench("scenarios", bench_rows)
+
+
+if __name__ == "__main__":
+    test_scenario_replay_benchmark()

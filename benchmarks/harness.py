@@ -61,7 +61,9 @@ def emit_bench(figure: str, runs: list, *, append: bool | None = None) -> Path:
     at so trajectories with mixed scales stay interpretable.
     ``append`` defaults from the ``REPRO_BENCH_APPEND`` environment
     knob: set it to keep a trajectory across suite runs instead of
-    overwriting.
+    overwriting.  Appends are deduplicating: rows from a previous run
+    at the same ``(scale, seed)`` are replaced, not duplicated, so
+    re-running the suite twice leaves the trajectory unchanged.
     """
     from repro.obs import write_bench
 
@@ -69,7 +71,7 @@ def emit_bench(figure: str, runs: list, *, append: bool | None = None) -> Path:
         append = os.environ.get("REPRO_BENCH_APPEND", "") not in ("", "0")
     runs = [{"scale": SCALE, **r} for r in runs]
     path = REPO_DIR / f"BENCH_{figure}.json"
-    write_bench(path, figure, runs, append=append)
+    write_bench(path, figure, runs, append=append, dedupe=True)
     print(f"[bench] wrote {path} ({len(runs)} runs, append={append})",
           flush=True)
     return path

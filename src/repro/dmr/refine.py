@@ -608,13 +608,21 @@ def serve_job(params, strategy, seed, ctx):
     ``strategy="auto"`` (or ``tuned: true`` in the dict) substitutes
     the :mod:`repro.tune` cached/tuned configuration; unknown keys
     raise ``ValueError``.
+
+    ``params["mutations"]`` may carry an ``insert_points`` stream
+    (:mod:`repro.serve.mutations`): each op inserts ``count`` seeded
+    interior points through the §9 GPU insertion driver *before*
+    refinement, so the job models "mesh mutated, then re-refined" — the
+    dynamic-update scenario recorded traces replay.
     """
     from ..core.adaptive import adaptive_from_dict
     from ..meshing.generate import random_mesh
+    from ..serve.mutations import check_mutations, mutation_points
     from ..tune import resolve_strategy
     from ..vgpu.sync import HIERARCHICAL, NAIVE_ATOMIC
 
     strategy = resolve_strategy("dmr", params, strategy)
+    mutations = check_mutations("dmr", params.get("mutations", ()))
     barriers = {"fence": FENCE, "hierarchical": HIERARCHICAL,
                 "naive": NAIVE_ATOMIC}
     kwargs = {k: strategy[k] for k in
@@ -627,6 +635,14 @@ def serve_job(params, strategy, seed, ctx):
         kwargs["adaptive"] = adaptive_from_dict(strategy["adaptive"])
     cfg = DMRConfig(seed=seed, **kwargs)
     mesh = random_mesh(int(params.get("n_triangles", 600)), seed=seed)
+    for op in mutations:
+        from ..meshing.gpu_insert import gpu_insert_points
+
+        mx, my = mutation_points(op)
+        ins = gpu_insert_points(mesh, mx, my, seed=int(op.get("seed", 0)),
+                                counter=ctx.counter,
+                                resilience=getattr(ctx, "resilience", None))
+        mesh = ins.mesh
     res = refine_gpu(mesh, cfg, counter=ctx.counter,
                      resilience=getattr(ctx, "resilience", None))
     out = res.mesh

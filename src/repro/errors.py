@@ -19,6 +19,9 @@ The tree::
     │   └── KernelAborted            transient launch failure (retryable)
     ├── EngineStalled                no progress after the escalation ladder
     ├── MaxRoundsExceeded            a round/phase budget ran out
+    ├── ArtifactError                a persisted artifact failed to load
+    │   ├── CorruptCheckpoint        unreadable serve checkpoint file
+    │   └── CorruptScenario          unreadable/ill-schemed scenario file
     └── CavityError                  geometric/structural cavity failure
         ├── WalkStuck                point-location walk did not terminate
         ├── CavityOversized          cavity expansion blew its size cap
@@ -36,7 +39,8 @@ from __future__ import annotations
 __all__ = [
     "ReproError", "DeviceFault", "OutOfDeviceMemory", "ChunkPoolExhausted",
     "RecyclePoolExhausted", "KernelAborted", "EngineStalled",
-    "MaxRoundsExceeded", "CavityError", "WalkStuck", "CavityOversized",
+    "MaxRoundsExceeded", "ArtifactError", "CorruptCheckpoint",
+    "CorruptScenario", "CavityError", "WalkStuck", "CavityOversized",
     "NotStarShaped", "PointEscaped", "CavitySlotsExhausted",
 ]
 
@@ -128,6 +132,35 @@ class MaxRoundsExceeded(ReproError):
     def __init__(self, message: str, *, rounds: int = 0) -> None:
         super().__init__(message)
         self.rounds = rounds
+
+
+# ------------------------------------------------------------------ #
+# Persisted-artifact failures                                         #
+# ------------------------------------------------------------------ #
+
+class ArtifactError(ReproError):
+    """A persisted artifact (checkpoint, scenario, cache) failed to load.
+
+    The loader *quarantines* the offending file — renames it to
+    ``<name>.corrupt`` so the evidence survives and later loads cannot
+    trip over it — and then raises, so the caller decides explicitly
+    whether a clean restart is acceptable.  ``path`` is the original
+    location; ``quarantined`` is where the bytes went (``None`` when
+    even the rename failed and the file was dropped).
+    """
+
+    def __init__(self, message: str, *, path=None, quarantined=None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.quarantined = quarantined
+
+
+class CorruptCheckpoint(ArtifactError):
+    """A serve checkpoint file could not be unpickled."""
+
+
+class CorruptScenario(ArtifactError):
+    """A scenario file is unreadable, ill-formed, or wrongly schemed."""
 
 
 # ------------------------------------------------------------------ #

@@ -218,16 +218,23 @@ random_mesh` cover the unit square, so the box stays inside the hull).
     ``strategy`` understands ``max_points_per_round``;
     ``strategy="auto"`` substitutes the :mod:`repro.tune`
     cached/tuned configuration, and unknown keys raise ``ValueError``.
+    ``params["mutations"]`` may carry an ``add_points``/``drop_points``
+    stream (:mod:`repro.serve.mutations`) edit-listing the insertion
+    batch before it runs.
     """
+    from ..serve.mutations import apply_point_mutations, check_mutations
     from ..tune import resolve_strategy
     from .generate import random_mesh
 
     strategy = resolve_strategy("insertion", params, strategy)
+    mutations = check_mutations("insertion", params.get("mutations", ()))
     mesh = random_mesh(int(params.get("n_triangles", 300)), seed=seed)
     rng = np.random.default_rng(seed + 1)
     n_points = int(params.get("n_points", 12))
     x = rng.uniform(0.3, 0.7, n_points)
     y = rng.uniform(0.3, 0.7, n_points)
+    if mutations:
+        x, y = apply_point_mutations(x, y, mutations)
     res = gpu_insert_points(
         mesh, x, y, seed=seed, counter=ctx.counter,
         max_points_per_round=int(strategy.get("max_points_per_round", 4096)),

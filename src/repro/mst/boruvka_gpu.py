@@ -194,19 +194,26 @@ def serve_job(params, strategy, seed, ctx):
     ``"hierarchical"`` / ``"naive"`` — the §7.3 pricing of the
     per-kernel round barriers); ``strategy="auto"`` substitutes the
     :mod:`repro.tune` cached/tuned configuration, and unknown keys
-    raise ``ValueError``.
+    raise ``ValueError``.  ``params["mutations"]`` may carry an
+    ``add_edges``/``drop_edges``/``reweight_edges`` stream
+    (:mod:`repro.serve.mutations`) — the dynamic-connectivity "edge
+    update stream" shape — applied to the edge list before contraction.
     """
     from ..graphgen import random_graph
+    from ..serve.mutations import apply_graph_mutations, check_mutations
     from ..tune import resolve_strategy
     from ..vgpu.sync import FENCE, HIERARCHICAL, NAIVE_ATOMIC
 
     strategy = resolve_strategy("mst", params, strategy)
+    mutations = check_mutations("mst", params.get("mutations", ()))
     barriers = {"fence": FENCE, "hierarchical": HIERARCHICAL,
                 "naive": NAIVE_ATOMIC}
     barrier = barriers[strategy["barrier"]] if "barrier" in strategy else None
     num_nodes = int(params.get("num_nodes", 300))
     num_edges = int(params.get("num_edges", 4 * num_nodes))
     n, src, dst, w = random_graph(num_nodes, num_edges, seed=seed)
+    if mutations:
+        src, dst, w = apply_graph_mutations(n, src, dst, w, mutations)
     res = boruvka_gpu(n, src, dst, w, counter=ctx.counter, barrier=barrier,
                       resilience=getattr(ctx, "resilience", None))
     summary = {"total_weight": int(res.total_weight), "rounds": res.rounds,

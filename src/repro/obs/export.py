@@ -75,13 +75,19 @@ def metrics_dict(tracer: Tracer) -> dict[str, float]:
 # ---------------------------------------------------------------------- #
 
 def write_bench(path: str | Path, figure: str, runs: list[dict], *,
-                append: bool = False) -> Path:
+                append: bool = False, dedupe: bool = False) -> Path:
     """Write (or extend) a ``BENCH_<figure>.json`` trajectory file.
 
     Each element of ``runs`` is one measurement row — a flat JSON-able
     dict, typically ``{"input": ..., "modeled_gpu_s": ...}``.  With
     ``append=True`` an existing file's runs are kept and the new ones
     added after them, so the file accumulates a history across commits.
+
+    With ``dedupe=True`` (append mode only), prior rows that share a
+    ``(scale, seed)`` key with any new row are dropped first: re-running
+    the suite at an already-recorded configuration *replaces* that
+    configuration's batch instead of appending duplicate rows forever —
+    the trajectory stays one batch per measured configuration.
     """
     path = Path(path)
     existing: list[dict] = []
@@ -92,6 +98,10 @@ def write_bench(path: str | Path, figure: str, runs: list[dict], *,
                 existing = list(prior.get("runs", []))
         except (json.JSONDecodeError, AttributeError):
             existing = []
+    if dedupe and existing:
+        new_keys = {(r.get("scale"), r.get("seed")) for r in runs}
+        existing = [r for r in existing
+                    if (r.get("scale"), r.get("seed")) not in new_keys]
     doc = {"schema": BENCH_SCHEMA, "figure": figure,
            "runs": existing + list(runs)}
     path.write_text(json.dumps(doc, indent=1) + "\n")

@@ -213,14 +213,22 @@ def serve_job(params, strategy, seed, ctx):
     §6.4 alternative; both reach the identical fixed point).
     ``strategy="auto"`` substitutes the :mod:`repro.tune`
     cached/tuned configuration, and unknown keys raise ``ValueError``.
+    ``params["mutations"]`` may carry an
+    ``add_constraints``/``drop_constraints`` stream
+    (:mod:`repro.serve.mutations`) — the incremental-PTA "new
+    constraints arrive" shape — applied before solving.
     """
+    from ..serve.mutations import apply_constraint_mutations, check_mutations
     from ..tune import resolve_strategy
     from .constraints import generate_constraints
 
     strategy = resolve_strategy("pta", params, strategy)
+    mutations = check_mutations("pta", params.get("mutations", ()))
     cons = generate_constraints(int(params.get("num_vars", 120)),
                                 int(params.get("num_constraints", 200)),
                                 seed=seed)
+    if mutations:
+        cons = apply_constraint_mutations(cons, mutations)
     variant = strategy.get("variant", "pull")
     if variant == "pull":
         solver = andersen_pull

@@ -266,15 +266,22 @@ def serve_job(params, strategy, seed, ctx):
     ``decimation_fraction``, ``require_convergence``.
     ``strategy="auto"`` substitutes the :mod:`repro.tune`
     cached/tuned configuration, and unknown keys raise ``ValueError``.
+    ``params["mutations"]`` may carry an ``add_clauses``/``drop_clauses``
+    stream (:mod:`repro.serve.mutations`) applied to the generated
+    formula before solving.
     """
+    from ..serve.mutations import apply_clause_mutations, check_mutations
     from ..tune import resolve_strategy
     from .formula import random_ksat
 
     strategy = resolve_strategy("sp", params, strategy)
+    mutations = check_mutations("sp", params.get("mutations", ()))
     cnf = random_ksat(int(params.get("num_vars", 200)),
                       int(params.get("k", 3)),
                       ratio=float(params.get("ratio", 3.2)),
                       seed=seed)
+    if mutations:
+        cnf = apply_clause_mutations(cnf, mutations)
     kwargs = {k: strategy[k] for k in
               ("cached", "damping", "eps", "decimation_fraction",
                "require_convergence") if k in strategy}

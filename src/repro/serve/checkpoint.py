@@ -13,10 +13,12 @@ crashes:
 * :class:`CheckpointStore` — one file per job under a spool directory,
   written atomically (temp file + ``os.replace``) so a worker killed
   mid-write can never leave a truncated checkpoint where the next
-  attempt would trip over it.  A corrupt or unreadable file is deleted
-  on load and reported as "no checkpoint" — the job falls back to a
-  clean restart, mirroring the corrupt-cache discipline in
-  ``benchmarks/harness.py``.
+  attempt would trip over it.  A corrupt or unreadable file is
+  *quarantined* on load — renamed to ``<name>.ckpt.corrupt`` so the
+  evidence survives, mirroring :class:`repro.tune.TuningCache` — and the
+  typed :class:`repro.errors.CorruptCheckpoint` is raised so the caller
+  (the pool's attempt loop) decides explicitly that a clean restart is
+  the right response, rather than the store silently deciding for it.
 """
 
 from __future__ import annotations
@@ -24,6 +26,8 @@ from __future__ import annotations
 import os
 import pickle
 from pathlib import Path
+
+from ..errors import CorruptCheckpoint
 
 __all__ = ["CheckpointStore", "dumps_state", "loads_state"]
 
@@ -59,17 +63,33 @@ class CheckpointStore:
         return path
 
     def load(self, job_name: str) -> object | None:
-        """The latest checkpoint, or ``None`` (corrupt files are removed
-        so they cannot poison every later attempt)."""
+        """The latest checkpoint, or ``None`` when none was ever saved.
+
+        A file that exists but cannot be unpickled is quarantined to
+        ``<name>.ckpt.corrupt`` and reported as the typed
+        :class:`~repro.errors.CorruptCheckpoint` — never silently
+        swallowed, and never left in place to poison later attempts.
+        """
         path = self.path(job_name)
         if not path.exists():
             return None
         try:
             return loads_state(path.read_bytes())
         except (pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, OSError):
-            path.unlink(missing_ok=True)
-            return None
+                ImportError, IndexError, ValueError, OSError) as exc:
+            quarantined = path.with_suffix(".ckpt.corrupt")
+            try:
+                os.replace(path, quarantined)
+            except OSError:
+                # Unreadable *and* unmovable: drop it so the slot stays
+                # usable (the tuning cache's last resort).
+                path.unlink(missing_ok=True)
+                quarantined = None
+            raise CorruptCheckpoint(
+                f"checkpoint for job {job_name!r} is corrupt "
+                f"({type(exc).__name__}: {exc}); quarantined to "
+                f"{quarantined}", path=path,
+                quarantined=quarantined) from exc
 
     def clear(self, job_name: str) -> None:
         """Drop ``job_name``'s checkpoint (called after a clean finish)."""

@@ -201,14 +201,21 @@ def _engine_job(params: Mapping, strategy: Mapping, seed: int,
                 ctx: JobContext):
     """Adapter for ``algorithm="engine"``: recolor a random graph via
     :func:`repro.core.engine.run_morph_rounds`, with full
-    checkpoint/resume support."""
+    checkpoint/resume support.  ``params["mutations"]`` may carry an
+    ``add_edges``/``drop_edges``/``reweight_edges`` stream
+    (:mod:`repro.serve.mutations`) applied to the edge list before the
+    graph is frozen into CSR."""
     from ..graphgen import random_graph, undirected_edges_to_csr
     from ..tune import resolve_strategy
+    from .mutations import apply_graph_mutations, check_mutations
 
     strategy = resolve_strategy("engine", params, strategy)
+    mutations = check_mutations("engine", params.get("mutations", ()))
     num_nodes = int(params.get("num_nodes", 200))
     num_edges = int(params.get("num_edges", 3 * num_nodes))
     n, src, dst, w = random_graph(num_nodes, num_edges, seed=seed)
+    if mutations:
+        src, dst, w = apply_graph_mutations(n, src, dst, w, mutations)
     g = undirected_edges_to_csr(n, src, dst, w)
 
     colors = np.random.default_rng(seed).integers(0, 2, size=n)

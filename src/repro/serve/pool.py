@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 from ..core.counters import OpCounter
 from ..core.engine import EngineCheckpoint
+from ..errors import CorruptCheckpoint
 from ..resilience import Resilience
 from .checkpoint import CheckpointStore
 from .faults import FaultInjected, FaultInjector, maybe_activate
@@ -117,7 +118,12 @@ def _execute_job(spec_dict: dict, checkpoint_dir: str | None,
         deadline = (time.monotonic() + spec.timeout_s
                     if spec.timeout_s is not None else None)
 
-        resume = store.load(spec.name) if store is not None else None
+        try:
+            resume = store.load(spec.name) if store is not None else None
+        except CorruptCheckpoint:
+            # The store already quarantined the file; a clean restart is
+            # the documented fallback for a lost checkpoint.
+            resume = None
         counter = (resume.counter if isinstance(resume, EngineCheckpoint)
                    else OpCounter())
 

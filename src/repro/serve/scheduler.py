@@ -122,6 +122,11 @@ class Scheduler:
     #: optional :class:`repro.tune.TuningCache` (or a path to one) whose
     #: measured costs refine the SJF proxy for tuned inputs
     tune_cache: object | None = None
+    #: optional recorder (e.g. :class:`repro.scenarios.ScenarioRecorder`)
+    #: receiving ``on_job(record)`` per finished job and
+    #: ``on_batch(report)`` once the batch settles — the hook point the
+    #: scenario record/replay harness captures golden outcomes through
+    recorder: object | None = None
     #: most recent batch, for callers that want to poke at records
     last_report: BatchReport | None = field(default=None, repr=False)
 
@@ -145,6 +150,10 @@ class Scheduler:
         report = BatchReport(records=records, policy=self.policy,
                              workers=self.workers, wall_s=wall_s)
         self._trace(report)
+        if self.recorder is not None:
+            for r in records:
+                self.recorder.on_job(r)
+            self.recorder.on_batch(report)
         self.last_report = report
         return report
 

@@ -35,6 +35,11 @@ def pytest_addoption(parser):
         help="run only the static-verify tests: the repro.analysis.static "
              "whole-program gate (src/repro clean, fixtures match golden "
              "findings, manifests current)")
+    parser.addoption(
+        "--scenarios", action="store_true", default=False,
+        help="run only the scenario-replay tests: replay every recorded "
+             "scenario under tests/scenarios/ and fail on any golden "
+             "mismatch (digest, op counters, resilience events)")
 
 
 def _select_marked(config, items, marker: str):
@@ -57,6 +62,9 @@ def pytest_collection_modifyitems(config, items):
     if config.getoption("--static"):
         _select_marked(config, items, "static")
         return
+    if config.getoption("--scenarios"):
+        _select_marked(config, items, "scenario")
+        return
     # Chaos tests are opt-in: they deliberately fail the virtual device,
     # so the default (tier-1) run skips them.
     skip = pytest.mark.skip(reason="chaos tests run only with --chaos")
@@ -78,6 +86,10 @@ def pytest_configure(config):
         "markers",
         "static: static-verify gate test (repro.analysis.static); "
         "selectable alone via --static")
+    config.addinivalue_line(
+        "markers",
+        "scenario: recorded-scenario replay test (repro.scenarios); "
+        "selectable alone via --scenarios")
 
 
 @pytest.fixture(autouse=True)

@@ -56,3 +56,59 @@ class TestUncachedCounter:
             cpu3.kernel("sp.update").word_reads
         # the original counter is not mutated
         assert gpu.kernel("sp.update").word_reads == 8000
+
+
+class TestBenchAppendDedupe:
+    """Appending a trajectory must replace same-(scale, seed) batches,
+    not duplicate them (the BENCH files grew rows forever before)."""
+
+    def _write(self, path, rows, **kw):
+        from repro.obs import write_bench
+
+        return write_bench(path, "figX", rows, **kw)
+
+    def _runs(self, path):
+        from repro.obs import read_bench
+
+        return read_bench(path)["runs"]
+
+    def test_append_same_scale_replaces(self, tmp_path):
+        path = tmp_path / "BENCH_figX.json"
+        self._write(path, [{"scale": 10, "v": 1}, {"scale": 10, "v": 2}])
+        self._write(path, [{"scale": 10, "v": 3}], append=True,
+                    dedupe=True)
+        runs = self._runs(path)
+        assert runs == [{"scale": 10, "v": 3}]
+
+    def test_append_new_scale_accumulates(self, tmp_path):
+        path = tmp_path / "BENCH_figX.json"
+        self._write(path, [{"scale": 10, "v": 1}])
+        self._write(path, [{"scale": 1, "v": 2}], append=True, dedupe=True)
+        assert self._runs(path) == [{"scale": 10, "v": 1},
+                                    {"scale": 1, "v": 2}]
+
+    def test_seed_participates_in_the_key(self, tmp_path):
+        path = tmp_path / "BENCH_figX.json"
+        self._write(path, [{"scale": 10, "seed": 1, "v": 1},
+                           {"scale": 10, "seed": 2, "v": 2}])
+        self._write(path, [{"scale": 10, "seed": 2, "v": 9}], append=True,
+                    dedupe=True)
+        assert self._runs(path) == [{"scale": 10, "seed": 1, "v": 1},
+                                    {"scale": 10, "seed": 2, "v": 9}]
+
+    def test_append_without_dedupe_still_accumulates(self, tmp_path):
+        path = tmp_path / "BENCH_figX.json"
+        self._write(path, [{"scale": 10, "v": 1}])
+        self._write(path, [{"scale": 10, "v": 2}], append=True)
+        assert len(self._runs(path)) == 2
+
+    def test_emit_bench_is_idempotent_under_append(self, tmp_path,
+                                                   monkeypatch):
+        import harness
+
+        monkeypatch.setattr(harness, "REPO_DIR", tmp_path)
+        monkeypatch.setenv("REPRO_BENCH_APPEND", "1")
+        harness.emit_bench("figX", [{"v": 1}])
+        harness.emit_bench("figX", [{"v": 1}])
+        runs = self._runs(tmp_path / "BENCH_figX.json")
+        assert runs == [{"scale": harness.SCALE, "v": 1}]

@@ -103,11 +103,31 @@ class TestCheckpointStore:
         store.clear("job-a")
         assert store.load("job-a") is None
 
-    def test_corrupt_file_is_removed(self, tmp_path):
+    def test_corrupt_file_is_quarantined_and_raises(self, tmp_path):
+        from repro.errors import CorruptCheckpoint, ReproError
+
         store = CheckpointStore(tmp_path)
         store.path("bad").write_bytes(b"not a pickle")
-        assert store.load("bad") is None
+        with pytest.raises(CorruptCheckpoint) as exc_info:
+            store.load("bad")
+        assert isinstance(exc_info.value, ReproError)
+        # evidence preserved, slot freed
         assert not store.path("bad").exists()
+        quarantined = exc_info.value.quarantined
+        assert quarantined is not None and quarantined.exists()
+        assert quarantined.read_bytes() == b"not a pickle"
+        # the slot is usable again: no file -> clean None, no raise
+        assert store.load("bad") is None
+
+    def test_corrupt_checkpoint_falls_back_to_clean_restart(self, tmp_path):
+        """A poisoned checkpoint must not wedge the job: the pool treats
+        it as no-checkpoint and the attempt restarts from round zero."""
+        store = CheckpointStore(tmp_path)
+        store.path("resumable").write_bytes(b"\x80garbage")
+        rec = run_job(_engine_spec(), checkpoint_dir=str(tmp_path))
+        clean = run_job(_engine_spec(name="clean"))
+        assert rec.ok and rec.resumed_round == 0
+        assert rec.result.digest == clean.result.digest
 
     def test_job_names_are_sanitized(self, tmp_path):
         store = CheckpointStore(tmp_path)

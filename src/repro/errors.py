@@ -163,6 +163,18 @@ class CorruptScenario(ArtifactError):
     """A scenario file is unreadable, ill-formed, or wrongly schemed."""
 
 
+class SessionStateError(ReproError):
+    """A :mod:`repro.sessions` session cannot use its persisted state.
+
+    Raised when a resumed checkpoint's spec does not match the session
+    being opened (different algorithm, params, strategy, or seed — the
+    incremental state would silently answer for the wrong input), or
+    when a checkpoint payload is not session-shaped at all.  The caller
+    decides whether a cold re-open is acceptable; the session never
+    silently discards state it was asked to resume.
+    """
+
+
 # ------------------------------------------------------------------ #
 # Cavity / geometric failures                                         #
 # ------------------------------------------------------------------ #

@@ -41,6 +41,10 @@ class PTAResult:
     rounds: int
     edges_added: int
     propagation_sweeps: int
+    #: the final constraint graph (:class:`~repro.pta.graph.PullGraph`),
+    #: so incremental consumers (:mod:`repro.sessions`) can warm-start
+    #: the fixed point instead of re-deriving every induced edge
+    graph: PullGraph | None = None
 
     def points_to(self, var: int) -> np.ndarray:
         return self.pts.members(var)
@@ -196,7 +200,8 @@ def _andersen_pull_impl(cons: Constraints, *, chunk_size: int,
         if not changed.any() and added == 0:
             break
     return PTAResult(pts=pts, counter=ctr, rounds=rounds,
-                     edges_added=edges_added, propagation_sweeps=sweeps)
+                     edges_added=edges_added, propagation_sweeps=sweeps,
+                     graph=graph)
 
 
 # ------------------------------------------------------------------ #

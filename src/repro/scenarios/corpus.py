@@ -23,6 +23,7 @@ from pathlib import Path
 
 from ..serve.faults import FaultPlan
 from ..serve.jobs import JobSpec
+from ..sessions import SessionSpec
 from .format import save_scenario
 from .record import record_scenario
 
@@ -39,6 +40,16 @@ def _spec(name, algorithm, params, *, strategy=None, seed=0, **kw) -> JobSpec:
     return JobSpec(name=name, algorithm=algorithm, params=params,
                    strategy=strategy if strategy is not None else {},
                    seed=seed, **kw)
+
+
+def _session_spec(name, algorithm, params, batches, *, seed=0,
+                  **kw) -> JobSpec:
+    """An incremental-session job (the :mod:`repro.sessions` envelope):
+    replay re-streams the batches through the delta planners, so the
+    golden digest also pins the delta-vs-full recompute equivalence."""
+    return SessionSpec(name=name, algorithm=algorithm, params=params,
+                       strategy={}, seed=seed, batches=batches,
+                       **kw).to_job_spec()
 
 
 def corpus_definitions() -> list[dict]:
@@ -170,6 +181,37 @@ def corpus_definitions() -> list[dict]:
                      {"op": "add_clauses", "count": 15, "seed": 5},
                      {"op": "drop_clauses", "count": 10, "seed": 6}]},
                 seed=151)],
+        },
+        {
+            "name": "mst_session_stream",
+            "description": "Incremental MST session: a multi-batch edge "
+                           "stream (adds, reweights, drops) served through "
+                           "the repro.sessions delta planner; the golden "
+                           "digest equals a cold solve of the fully "
+                           "mutated graph.",
+            "specs": [_session_spec(
+                "mst-session", "mst",
+                {"num_nodes": 140, "num_edges": 520},
+                [[{"op": "add_edges", "count": 8, "seed": 11}],
+                 [{"op": "reweight_edges", "count": 6, "seed": 12}],
+                 [{"op": "drop_edges", "count": 5, "seed": 13}],
+                 [{"op": "add_edges", "count": 4, "seed": 14},
+                  {"op": "reweight_edges", "count": 4, "seed": 15}]],
+                seed=163)],
+        },
+        {
+            "name": "pta_session_stream",
+            "description": "Incremental PTA session: constraint batches "
+                           "grown monotonically; each batch warm-starts "
+                           "the Andersen fixed point from the previous "
+                           "solution instead of re-solving.",
+            "specs": [_session_spec(
+                "pta-session", "pta",
+                {"num_vars": 60, "num_constraints": 140},
+                [[{"op": "add_constraints", "count": 6, "seed": 21}],
+                 [{"op": "add_constraints", "count": 5, "seed": 22}],
+                 [{"op": "add_constraints", "count": 4, "seed": 23}]],
+                seed=167)],
         },
         {
             "name": "dmr_insert_then_refine",

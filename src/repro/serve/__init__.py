@@ -31,8 +31,9 @@ from .faults import (FaultInjected, FaultInjector, FaultPlan, activate,
                      current_injector, maybe_activate)
 from .jobs import (JobContext, JobError, JobResult, JobSpec, digest_arrays,
                    estimate_cost, get_adapter, known_algorithms)
-from .mutations import (OPS_BY_ALGORITHM, apply_clause_mutations,
-                        apply_constraint_mutations, apply_graph_mutations,
+from .mutations import (OPS_BY_ALGORITHM, GraphMutationEffect,
+                        apply_clause_mutations, apply_constraint_mutations,
+                        apply_graph_mutations, apply_graph_mutations_tracked,
                         apply_point_mutations, check_mutations)
 from .pool import JobRecord, JobTimeout, run_job, submit_batch
 from .scheduler import BatchReport, Scheduler, order_jobs
@@ -43,7 +44,8 @@ __all__ = [
     "current_injector", "maybe_activate",
     "JobContext", "JobError", "JobResult", "JobSpec", "digest_arrays",
     "estimate_cost", "get_adapter", "known_algorithms",
-    "OPS_BY_ALGORITHM", "check_mutations", "apply_graph_mutations",
+    "OPS_BY_ALGORITHM", "GraphMutationEffect", "check_mutations",
+    "apply_graph_mutations", "apply_graph_mutations_tracked",
     "apply_clause_mutations", "apply_constraint_mutations",
     "apply_point_mutations",
     "JobRecord", "JobTimeout", "run_job", "submit_batch",

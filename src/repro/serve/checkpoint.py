@@ -10,10 +10,13 @@ crashes:
 
 * :func:`dumps_state` / :func:`loads_state` — byte-level round-trip
   (pickle; every field of an engine checkpoint is plain data);
-* :class:`CheckpointStore` — one file per job under a spool directory,
-  written atomically (temp file + ``os.replace``) so a worker killed
-  mid-write can never leave a truncated checkpoint where the next
-  attempt would trip over it.  A corrupt or unreadable file is
+* :class:`CheckpointStore` — per-job checkpoint files under a spool
+  directory: one atomically replaced slot per job, plus an optional
+  versioned history (used by :mod:`repro.sessions` batch streams)
+  pruned to keep-latest-N so long-lived sessions never leak spool
+  disk.  Every write is atomic (temp file + ``os.replace``) so a
+  worker killed mid-write can never leave a truncated checkpoint where
+  the next attempt would trip over it.  A corrupt or unreadable file is
   *quarantined* on load — renamed to ``<name>.ckpt.corrupt`` so the
   evidence survives, mirroring :class:`repro.tune.TuningCache` — and the
   typed :class:`repro.errors.CorruptCheckpoint` is raised so the caller
@@ -43,34 +46,86 @@ def loads_state(data: bytes) -> object:
 
 
 class CheckpointStore:
-    """One durable checkpoint slot per job name, under ``root``."""
+    """Durable checkpoints per job name, under ``root``.
 
-    def __init__(self, root: str | Path) -> None:
+    Two shapes coexist:
+
+    * the **unversioned slot** (``<job>.ckpt``) — one file per job,
+      atomically replaced on every :meth:`save`; this is what the
+      pool's retry loop uses, and it cannot grow;
+    * **versioned history** (``<job>@NNNNNNNN.ckpt``) — written when
+      :meth:`save` is given a ``version`` (long-lived
+      :mod:`repro.sessions` streams checkpoint once per batch).  To
+      keep a session from leaking spool disk over thousands of
+      batches, every versioned save *prunes* superseded versions down
+      to ``keep_latest`` (newest-N survive; the unversioned slot is
+      never pruned).
+    """
+
+    def __init__(self, root: str | Path, *, keep_latest: int = 3) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.keep_latest = max(1, int(keep_latest))
 
-    def path(self, job_name: str) -> Path:
-        safe = "".join(c if (c.isalnum() or c in "-_.") else "_"
+    def _safe(self, job_name: str) -> str:
+        return "".join(c if (c.isalnum() or c in "-_.") else "_"
                        for c in job_name)
-        return self.root / f"{safe}.ckpt"
 
-    def save(self, job_name: str, state: object) -> Path:
-        """Atomically replace ``job_name``'s checkpoint with ``state``."""
-        path = self.path(job_name)
+    def path(self, job_name: str, version: int | None = None) -> Path:
+        if version is None:
+            return self.root / f"{self._safe(job_name)}.ckpt"
+        return self.root / f"{self._safe(job_name)}@{int(version):08d}.ckpt"
+
+    def versions(self, job_name: str) -> list[int]:
+        """Versions on disk for ``job_name``, oldest first."""
+        prefix = f"{self._safe(job_name)}@"
+        out = []
+        for p in self.root.glob(f"{prefix}*.ckpt"):
+            tail = p.name[len(prefix):-len(".ckpt")]
+            if tail.isdigit():
+                out.append(int(tail))
+        return sorted(out)
+
+    def save(self, job_name: str, state: object,
+             version: int | None = None) -> Path:
+        """Atomically write ``job_name``'s checkpoint with ``state``.
+
+        With ``version``, the checkpoint lands in the job's versioned
+        history and older versions beyond ``keep_latest`` are pruned.
+        """
+        path = self.path(job_name, version)
         tmp = path.with_suffix(".ckpt.tmp")
         tmp.write_bytes(dumps_state(state))
         os.replace(tmp, path)
+        if version is not None:
+            self.prune(job_name)
         return path
 
-    def load(self, job_name: str) -> object | None:
-        """The latest checkpoint, or ``None`` when none was ever saved.
+    def prune(self, job_name: str, keep_latest: int | None = None) -> int:
+        """Drop superseded versioned checkpoints; returns how many."""
+        keep = self.keep_latest if keep_latest is None \
+            else max(1, int(keep_latest))
+        stale = self.versions(job_name)[:-keep]
+        for version in stale:
+            self.path(job_name, version).unlink(missing_ok=True)
+        return len(stale)
 
-        A file that exists but cannot be unpickled is quarantined to
-        ``<name>.ckpt.corrupt`` and reported as the typed
+    def load(self, job_name: str, version: int | None = None):
+        """The requested checkpoint, or ``None`` when none was saved.
+
+        ``version=None`` prefers the newest versioned checkpoint and
+        falls back to the unversioned slot.  A file that exists but
+        cannot be unpickled is quarantined to ``<name>.ckpt.corrupt``
+        and reported as the typed
         :class:`~repro.errors.CorruptCheckpoint` — never silently
         swallowed, and never left in place to poison later attempts.
         """
-        path = self.path(job_name)
+        if version is None:
+            versions = self.versions(job_name)
+            path = (self.path(job_name, versions[-1]) if versions
+                    else self.path(job_name))
+        else:
+            path = self.path(job_name, version)
         if not path.exists():
             return None
         try:
@@ -92,8 +147,11 @@ class CheckpointStore:
                 quarantined=quarantined) from exc
 
     def clear(self, job_name: str) -> None:
-        """Drop ``job_name``'s checkpoint (called after a clean finish)."""
+        """Drop ``job_name``'s checkpoints (called after a clean finish),
+        the unversioned slot and the whole versioned history alike."""
         self.path(job_name).unlink(missing_ok=True)
+        for version in self.versions(job_name):
+            self.path(job_name, version).unlink(missing_ok=True)
 
     def clear_all(self) -> None:
         for p in self.root.glob("*.ckpt"):

@@ -318,6 +318,11 @@ def estimate_cost(spec: JobSpec, cache=None) -> float:
     which keeps measured entries in the same ballpark as the hand-set
     static weights so mixed (cached + uncached) batches still order
     sanely; jobs without a cache entry fall back unchanged.
+
+    Session jobs (a ``params["session"]`` batch stream, see
+    :mod:`repro.sessions`) cost their cold open plus a small per-batch
+    increment — deltas are far cheaper than full recomputes, which is
+    the subsystem's whole point, but they are not free.
     """
     if cache is not None:
         from ..tune import fingerprint_params
@@ -326,6 +331,14 @@ def estimate_cost(spec: JobSpec, cache=None) -> float:
                            fingerprint_params(spec.algorithm, spec.params))
         if record is not None:
             return record.modeled_gpu_s * 1e6
+    env = spec.params.get("session")
+    if env:
+        batches = len(env.get("batches", ()))
+        return _static_cost(spec) * (1.0 + 0.25 * batches)
+    return _static_cost(spec)
+
+
+def _static_cost(spec: JobSpec) -> float:
     p = spec.params
     if spec.algorithm == "dmr":
         return _COST_WEIGHTS["dmr"] * float(p.get("n_triangles", 600))

@@ -38,7 +38,8 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["OPS_BY_ALGORITHM", "check_mutations", "apply_graph_mutations",
+__all__ = ["OPS_BY_ALGORITHM", "GraphMutationEffect", "check_mutations",
+           "apply_graph_mutations", "apply_graph_mutations_tracked",
            "apply_clause_mutations", "apply_constraint_mutations",
            "apply_point_mutations", "mutation_points"]
 
@@ -65,9 +66,12 @@ OPS_BY_ALGORITHM: dict[str, tuple[str, ...]] = {
 def check_mutations(algorithm: str, mutations) -> list[dict]:
     """Validate a spec's mutation stream; returns it as a list of dicts.
 
-    Unknown operations raise ``ValueError`` listing the offenders and
-    the algorithm's vocabulary — the same loud-rejection discipline as
-    ``ConfigSpace.check_strategy`` for strategy keys.
+    An empty (or missing) stream is a valid no-op, never an error.
+    Unknown operations raise ``ValueError`` naming each offending op's
+    *index* in the stream and the algorithm's vocabulary — the same
+    loud-rejection discipline as ``ConfigSpace.check_strategy`` for
+    strategy keys, but addressable: ``op[3]`` tells the caller exactly
+    which entry of a long recorded stream to look at.
     """
     if not mutations:
         return []
@@ -76,12 +80,13 @@ def check_mutations(algorithm: str, mutations) -> list[dict]:
         raise ValueError(f"algorithm {algorithm!r} takes no mutations")
     out: list[dict] = []
     bad: list[str] = []
-    for op in mutations:
+    for i, op in enumerate(mutations):
         if not isinstance(op, Mapping) or "op" not in op:
             raise ValueError(
-                f"each mutation must be a dict with an 'op' key; got {op!r}")
+                f"op[{i}]: each mutation must be a dict with an 'op' key; "
+                f"got {op!r}")
         if op["op"] not in known:
-            bad.append(str(op["op"]))
+            bad.append(f"op[{i}]={str(op['op'])!r}")
         out.append(dict(op))
     if bad:
         raise ValueError(
@@ -110,6 +115,40 @@ def _drop_indices(rng: np.random.Generator, size: int, count: int) -> np.ndarray
 # Graphs (mst, engine)                                                #
 # ------------------------------------------------------------------ #
 
+class GraphMutationEffect:
+    """Index bookkeeping for one tracked edge-mutation batch.
+
+    ``index_map[i]`` is where pre-batch edge ``i`` landed in the
+    post-batch list (``-1`` if a ``drop_edges`` removed it); ``changed``
+    flags post-batch edges whose weight cannot be trusted to equal the
+    pre-batch value — rows appended by ``add_edges`` or re-drawn by
+    ``reweight_edges``.  Incremental consumers (the
+    :mod:`repro.sessions` MST delta planner) use the pair to remap a
+    previously computed answer onto the mutated edge list.
+    """
+
+    def __init__(self, num_edges: int) -> None:
+        self.index_map = np.arange(num_edges, dtype=np.int64)
+        self.changed = np.zeros(num_edges, dtype=bool)
+
+    def on_add(self, count: int) -> None:
+        self.changed = np.concatenate(
+            [self.changed, np.ones(count, dtype=bool)])
+
+    def on_drop(self, keep: np.ndarray) -> None:
+        new_pos = np.cumsum(keep, dtype=np.int64) - 1
+        live = self.index_map >= 0
+        kept = np.zeros_like(live)
+        kept[live] = keep[self.index_map[live]]
+        self.index_map[live & ~kept] = -1
+        live &= kept
+        self.index_map[live] = new_pos[self.index_map[live]]
+        self.changed = self.changed[keep]
+
+    def on_reweight(self, idx: np.ndarray) -> None:
+        self.changed[idx] = True
+
+
 def apply_graph_mutations(num_nodes: int, lo: np.ndarray, hi: np.ndarray,
                           w: np.ndarray, mutations: Iterable[Mapping]):
     """Apply an edge-mutation stream to an undirected edge list.
@@ -118,9 +157,23 @@ def apply_graph_mutations(num_nodes: int, lo: np.ndarray, hi: np.ndarray,
     ``lo < hi``, no self-loops, no parallels — invariants every op
     preserves.
     """
+    lo, hi, w, _ = apply_graph_mutations_tracked(num_nodes, lo, hi, w,
+                                                 mutations)
+    return lo, hi, w
+
+
+def apply_graph_mutations_tracked(num_nodes: int, lo: np.ndarray,
+                                  hi: np.ndarray, w: np.ndarray,
+                                  mutations: Iterable[Mapping]):
+    """:func:`apply_graph_mutations` plus a :class:`GraphMutationEffect`.
+
+    Byte-identical edge output (same RNG draw sequence); the extra
+    return value only *observes* what each op did.
+    """
     lo = np.asarray(lo, dtype=np.int64).copy()
     hi = np.asarray(hi, dtype=np.int64).copy()
     w = np.asarray(w, dtype=np.int64).copy()
+    effect = GraphMutationEffect(lo.size)
     for op in mutations:
         rng, count = _op_rng(op), _count(op)
         if op["op"] == "add_edges":
@@ -148,18 +201,21 @@ def apply_graph_mutations(num_nodes: int, lo: np.ndarray, hi: np.ndarray,
             lo = np.concatenate([lo, np.array(new_lo, dtype=np.int64)])
             hi = np.concatenate([hi, np.array(new_hi, dtype=np.int64)])
             w = np.concatenate([w, nw])
+            effect.on_add(len(new_lo))
         elif op["op"] == "drop_edges":
             keep = _drop_indices(rng, lo.size, count)
             lo, hi, w = lo[keep], hi[keep], w[keep]
+            effect.on_drop(keep)
         elif op["op"] == "reweight_edges":
             if lo.size and count:
                 idx = rng.choice(lo.size, size=min(count, lo.size),
                                  replace=False)
                 w[idx] = rng.integers(1, _MAX_W, size=idx.size,
                                       dtype=np.int64)
+                effect.on_reweight(idx)
         else:  # pragma: no cover - check_mutations rejects these
             raise ValueError(f"unknown graph mutation {op['op']!r}")
-    return lo, hi, w
+    return lo, hi, w, effect
 
 
 # ------------------------------------------------------------------ #

@@ -152,8 +152,16 @@ def _execute_job(spec_dict: dict, checkpoint_dir: str | None,
                 if deadline is not None and time.monotonic() > deadline:
                     raise JobTimeout(
                         f"{spec.name}: attempt {attempt} had no budget")
-                arrays, summary = adapter(
-                    spec.params, spec.strategy, spec.seed, ctx)
+                if spec.params.get("session"):
+                    # A session job: stream its mutation batches
+                    # incrementally (lazy import — most batches carry
+                    # no sessions and should not pay for the package).
+                    from ..sessions.serve import run_session_job
+
+                    arrays, summary = run_session_job(spec, ctx)
+                else:
+                    arrays, summary = adapter(
+                        spec.params, spec.strategy, spec.seed, ctx)
         except (FaultInjected, JobError, ValueError, RuntimeError) as exc:
             record.failures.append(
                 f"attempt {attempt}: {type(exc).__name__}: {exc}")

@@ -1,0 +1,41 @@
+"""``repro.sessions`` — long-lived incremental morph sessions.
+
+Every :mod:`repro.serve` job recomputes from scratch; this subsystem
+closes the gap the ROADMAP calls the single biggest serving lever: a
+client opens a :class:`Session` over one input, streams
+:mod:`repro.serve.mutations`-vocabulary batches against it, and gets
+each answer recomputed only over the affected region — the
+Meerkat-style incremental-recompute-from-the-affected-frontier model,
+with Boruvka-forest maintenance in the incremental-connectivity
+tradition.
+
+The package:
+
+* :class:`SessionSpec` (:mod:`~repro.sessions.spec`) — a JSON-able
+  session description; folds into a schedulable
+  :class:`~repro.serve.jobs.JobSpec` via ``to_job_spec``;
+* :class:`Session` (:mod:`~repro.sessions.session`) — open / stream /
+  checkpoint / resume, with the *differential guarantee*: after every
+  batch the arrays digest is byte-identical to a cold full recompute
+  on the equivalently mutated input;
+* :mod:`~repro.sessions.planners` — per-algorithm delta planners
+  (sparsified Boruvka, warm-started Andersen fixed point, staged DMR
+  insertion, honest conservative fallbacks);
+* :class:`MutationLog` (:mod:`~repro.sessions.log`) — bounded audit
+  trail with compaction;
+* :mod:`~repro.sessions.serve` — the pool bridge
+  (``params["session"]`` jobs route through the worker's session
+  runner, inheriting retries, timeouts, faults, and durable
+  checkpoints);
+* ``python -m repro.sessions`` — run session streams from a JSON file
+  with per-batch reporting and an optional cold differential check.
+"""
+
+from .log import MutationLog
+from .planners import BatchOutcome, planned_algorithms, planner_for
+from .session import BatchResult, Session
+from .spec import DEFAULT_FULL_THRESHOLD, SessionSpec
+
+__all__ = ["BatchOutcome", "BatchResult", "DEFAULT_FULL_THRESHOLD",
+           "MutationLog", "Session", "SessionSpec",
+           "planned_algorithms", "planner_for"]

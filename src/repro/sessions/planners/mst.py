@@ -1,0 +1,208 @@
+"""Incremental MST: maintain the forest, contract only the frontier.
+
+The incremental-connectivity design (Hong/Dhulipala/Shun-style spanning
+forest maintenance, recast onto the paper's Boruvka contraction): the
+session keeps the current edge list *and* the current MST edge ids.  A
+mutation batch invalidates only part of that answer, and the survivors
+sparsify the next solve:
+
+* **T\\*** — old MST edges that survived the batch with their weight
+  intact.  These are provably still "safe" choices, so they form a
+  partial forest.
+* **Δ** — edges the batch added or reweighted (tracked by
+  :class:`repro.serve.mutations.GraphMutationEffect`).
+* **Cross** — edges whose endpoints lie in different components of the
+  T\\* forest; only these can repair connectivity the batch broke.
+
+``MST(G') ⊆ T* ∪ Δ ∪ Cross``: any other edge ``e`` connects two nodes
+already joined by a T\\* path — the unique old-MST path, every edge of
+which had a smaller key than ``e`` before the batch and kept it after
+(survivor keys preserve their relative order: weights unchanged, ids
+compacted order-preservingly) — so the cycle rule evicts ``e``.
+
+The delta solve is filter-then-finish: one ``O(|E|)`` cut-filter
+kernel marks the candidates, then a sort + hook-and-link pass (the
+standard GPU union-find idiom, priced at log-depth barriers) finishes
+the forest over just the candidate sublist.  Because the edge key
+``(weight << 31) | id`` is a *total* order, the MST is unique, and any
+correct algorithm over a candidate superset — the cold Boruvka
+contraction included — must select the same edge ids.  The finish
+sorts by exactly that key (weight, then id; ids keep their relative
+order under compaction), so the session's answer is byte-identical to
+a cold full contraction at ``O(|E| + |cand| log |cand|)`` instead of
+``O(rounds x (|V| + |E|))`` — the whole delta win when the candidate
+set is near ``|V|`` and the full solve is many rounds over ``|E|``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...serve.mutations import (apply_graph_mutations,
+                                apply_graph_mutations_tracked,
+                                check_mutations)
+from . import BatchOutcome
+
+__all__ = ["MstPlanner", "forest_components"]
+
+
+def forest_components(num_nodes: int, u: np.ndarray,
+                      v: np.ndarray) -> np.ndarray:
+    """Component label per node for the forest with edges ``(u, v)``.
+
+    Host-side union-find with path compression; labels are each
+    component's final root, which is all the cut filter needs.
+    """
+    parent = np.arange(num_nodes, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for a, b in zip(u.tolist(), v.tolist()):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+    return np.array([find(i) for i in range(num_nodes)], dtype=np.int64)
+
+
+class MstPlanner:
+    """Session state + delta recompute for ``algorithm="mst"``."""
+
+    algorithm = "mst"
+
+    def __init__(self, params, strategy, seed: int) -> None:
+        self.params = dict(params)
+        self.strategy = dict(strategy)
+        self.seed = int(seed)
+        self.arrays: tuple = ()
+        self.summary: dict = {}
+
+    def _barrier(self):
+        from ...vgpu.sync import FENCE, HIERARCHICAL, NAIVE_ATOMIC
+        barriers = {"fence": FENCE, "hierarchical": HIERARCHICAL,
+                    "naive": NAIVE_ATOMIC}
+        return (barriers[self.strategy["barrier"]]
+                if "barrier" in self.strategy else None)
+
+    def open(self, counter, resilience=None) -> None:
+        """Cold build + solve, mirroring the serve adapter exactly."""
+        from ...graphgen import random_graph
+
+        p = self.params
+        num_nodes = int(p.get("num_nodes", 300))
+        num_edges = int(p.get("num_edges", 4 * num_nodes))
+        self.n, self.lo, self.hi, self.w = random_graph(
+            num_nodes, num_edges, seed=self.seed)
+        mutations = check_mutations("mst", p.get("mutations", ()))
+        if mutations:
+            self.lo, self.hi, self.w = apply_graph_mutations(
+                self.n, self.lo, self.hi, self.w, mutations)
+        self._solve_full(counter, resilience)
+
+    def _solve_full(self, counter, resilience) -> None:
+        from ...mst.boruvka_gpu import boruvka_gpu
+
+        res = boruvka_gpu(self.n, self.lo, self.hi, self.w,
+                          counter=counter, barrier=self._barrier(),
+                          resilience=resilience)
+        self.mst = np.asarray(res.mst_edges, dtype=np.int64)
+        self._publish(res.rounds, res.num_components)
+
+    def _publish(self, rounds: int, num_components: int) -> None:
+        self.arrays = (self.mst,)
+        total = int(self.w[self.mst].sum()) if self.mst.size else 0
+        self.summary = {"total_weight": total, "rounds": rounds,
+                        "num_components": num_components,
+                        "mst_edges": int(self.mst.size)}
+
+    def _sparse_finish(self, cand: np.ndarray, counter) -> np.ndarray:
+        """MST edge ids of the candidate sublist, by key order.
+
+        Sort by the cold solver's exact total key (weight, then edge
+        id), then hook-and-link a union-find over the sorted list.
+        The candidate set is near ``|V|`` — small enough for the
+        single-cooperative-block finish idiom, where the sort's
+        log-depth exchanges and the link's pointer chases synchronize
+        with intra-block syncs; only the kernel boundaries are priced
+        as global barriers, which is exactly why the delta pass beats
+        a multi-round global-barrier contraction.
+        """
+        k = int(cand.size)
+        counter.launch("sessions.mst.sort", items=k, word_reads=2 * k,
+                       word_writes=k, barriers=1)
+        order = np.lexsort((cand, self.w[cand]))
+        parent = np.arange(self.n, dtype=np.int64)
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        chosen = []
+        lo, hi = self.lo, self.hi
+        for e in cand[order].tolist():
+            ra, rb = find(int(lo[e])), find(int(hi[e]))
+            if ra != rb:
+                parent[ra] = rb
+                chosen.append(e)
+        counter.launch("sessions.mst.link", items=k,
+                       word_reads=4 * k,
+                       word_writes=len(chosen) + self.n, barriers=1)
+        return np.array(sorted(chosen), dtype=np.int64)
+
+    def apply_batch(self, ops, counter, threshold: float,
+                    resilience=None) -> BatchOutcome:
+        old_edges = self.lo.size
+        self.lo, self.hi, self.w, eff = apply_graph_mutations_tracked(
+            self.n, self.lo, self.hi, self.w, ops)
+        m = self.lo.size
+
+        identity = (m == old_edges and not eff.changed.any()
+                    and bool((eff.index_map
+                              == np.arange(old_edges)).all()))
+        if identity:
+            return BatchOutcome(mode="cached", dirty=0, population=m,
+                                note="batch left the edge list unchanged")
+
+        # Survivors of the old tree, minus any whose weight moved.
+        mapped = (eff.index_map[self.mst] if self.mst.size
+                  else np.zeros(0, dtype=np.int64))
+        survivors = mapped[mapped >= 0]
+        t_star = survivors[~eff.changed[survivors]]
+        delta = np.flatnonzero(eff.changed)
+        comp = forest_components(self.n, self.lo[t_star], self.hi[t_star])
+        cross = np.flatnonzero(comp[self.lo] != comp[self.hi])
+        cand = np.unique(np.concatenate([t_star, delta, cross]))
+        dirty = int(cand.size)
+
+        outcome = BatchOutcome(mode="delta", dirty=dirty, population=m)
+        if m == 0:
+            self.mst = np.zeros(0, dtype=np.int64)
+            self._publish(0, self.n)
+            outcome.note = "edge list emptied; trivial forest"
+            return outcome
+        if outcome.dirty_fraction > threshold:
+            self._solve_full(counter, resilience)
+            outcome.mode = "full"
+            outcome.note = (f"dirty fraction {outcome.dirty_fraction:.2f} "
+                            f"over threshold {threshold:.2f}")
+            return outcome
+
+        # Price the planner's own kernels: rebuilding the T* forest
+        # labels and the one-pass cut filter over the full edge list.
+        counter.launch("sessions.mst.forest", items=self.n,
+                       word_reads=2 * int(t_star.size),
+                       word_writes=self.n, barriers=1)
+        counter.launch("sessions.mst.cut", items=m, word_reads=3 * m,
+                       word_writes=dirty, barriers=1)
+        self.mst = self._sparse_finish(cand, counter)
+        self._publish(0, self.n - int(self.mst.size))
+        return outcome

@@ -1,0 +1,250 @@
+"""Incremental Andersen points-to: warm-start the fixed point.
+
+Inclusion-based points-to is a least-fixed-point computation over
+monotone rules, so *adding* constraints never invalidates existing
+facts — the new fixed point is a superset reachable from the old one.
+The planner therefore keeps the solved state (the points-to
+:class:`~repro.pta.bitset.BitMatrix` and the induced-edge
+:class:`~repro.pta.graph.PullGraph`) and, per batch, re-seeds the
+worklist from exactly the nodes the new constraints touch:
+
+* new ``p = &q`` facts mark ``p`` changed (when its set actually grew);
+* new copy edges mark their *target* as having gained an incoming edge;
+* new load/store constraints are evaluated once against the current
+  sets, then participate in the normal changed-source re-evaluation.
+
+The chaotic-iteration sweeps then run the paper's two phases
+(§6.4/§8.3) until quiescent, pulling only nodes with a changed or
+fresh incoming neighbor.  Because the least fixed point is unique and
+the bit-matrix encoding depends only on the fact *set* (never on
+discovery order), the warm result is byte-identical to a cold solve of
+the full constraint set — the differential guarantee — at a few sparse
+sweeps instead of a whole-program solve.
+
+``drop_constraints`` is non-monotone (facts must be retracted), so any
+batch containing an effective drop falls back to a full solve — the
+honest escape hatch, reported as ``mode="full"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...serve.mutations import _drop_indices, _op_rng, check_mutations
+from . import BatchOutcome
+
+__all__ = ["PtaPlanner"]
+
+#: warm sweeps are bounded like the cold solver's ``max_rounds``
+_MAX_ROUNDS = 10_000
+
+
+class PtaPlanner:
+    """Session state + delta recompute for ``algorithm="pta"``."""
+
+    algorithm = "pta"
+
+    def __init__(self, params, strategy, seed: int) -> None:
+        self.params = dict(params)
+        self.strategy = dict(strategy)
+        self.seed = int(seed)
+        self.variant = str(self.strategy.get("variant", "pull"))
+        self.chunk_size = int(self.strategy.get("chunk_size", 1024))
+        self.arrays: tuple = ()
+        self.summary: dict = {}
+
+    def open(self, counter, resilience=None) -> None:
+        from ...pta.constraints import generate_constraints
+        from ...serve.mutations import apply_constraint_mutations
+
+        p = self.params
+        cons = generate_constraints(int(p.get("num_vars", 120)),
+                                    int(p.get("num_constraints", 200)),
+                                    seed=self.seed)
+        mutations = check_mutations("pta", p.get("mutations", ()))
+        if mutations:
+            cons = apply_constraint_mutations(cons, mutations)
+        self.cons = cons
+        self._solve_full(counter, resilience)
+
+    def _solver(self):
+        if self.variant == "pull":
+            from ...pta.andersen import andersen_pull
+            return andersen_pull
+        from ...pta.push import andersen_push
+        return andersen_push
+
+    def _solve_full(self, counter, resilience) -> None:
+        res = self._solver()(self.cons, counter=counter,
+                             chunk_size=self.chunk_size,
+                             resilience=resilience)
+        self.pts = res.pts
+        self.graph = res.graph
+        self._publish(res.rounds, res.edges_added, res.propagation_sweeps)
+
+    def _publish(self, rounds, edges_added, sweeps) -> None:
+        self.arrays = (self.pts.bits, self.pts.counts())
+        self.summary = {"rounds": int(rounds),
+                        "edges_added": int(edges_added),
+                        "propagation_sweeps": int(sweeps),
+                        "total_facts": int(self.pts.counts().sum()),
+                        "variant": self.variant}
+
+    def apply_batch(self, ops, counter, threshold: float,
+                    resilience=None) -> BatchOutcome:
+        from ...pta.constraints import Constraints, generate_constraints
+
+        # Replicate apply_constraint_mutations op by op so the delta
+        # (the freshly added tail) is known, not just the new total.
+        kind, lhs, rhs = self.cons.kind, self.cons.lhs, self.cons.rhs
+        extras: list = []
+        added = dropped = 0
+        for op in ops:
+            count = max(0, int(op.get("count", 0)))
+            if op["op"] == "add_constraints":
+                extra = generate_constraints(self.cons.num_vars, count,
+                                             seed=int(op.get("seed", 0)))
+                kind = np.concatenate([kind, extra.kind])
+                lhs = np.concatenate([lhs, extra.lhs])
+                rhs = np.concatenate([rhs, extra.rhs])
+                extras.append(extra)
+                added += int(extra.kind.size)
+            elif op["op"] == "drop_constraints":
+                keep = _drop_indices(_op_rng(op), kind.size, count)
+                dropped += int(kind.size - keep.sum())
+                kind, lhs, rhs = kind[keep], lhs[keep], rhs[keep]
+            else:  # pragma: no cover - check_mutations rejects these
+                raise ValueError(f"unknown constraint mutation {op['op']!r}")
+        self.cons = Constraints(self.cons.num_vars, kind, lhs, rhs)
+
+        population = max(int(kind.size), 1)
+        dirty = added + dropped
+        outcome = BatchOutcome(mode="delta", dirty=dirty,
+                               population=population)
+        if dirty == 0:
+            outcome.mode = "cached"
+            outcome.note = "batch left the constraint set unchanged"
+            return outcome
+        if dropped:
+            self._solve_full(counter, resilience)
+            outcome.mode = "full"
+            outcome.note = "drop_constraints retracts facts (non-monotone)"
+            return outcome
+        if self.variant != "pull":
+            self._solve_full(counter, resilience)
+            outcome.mode = "full"
+            outcome.note = "warm start is implemented for the pull variant"
+            return outcome
+        if outcome.dirty_fraction > threshold:
+            self._solve_full(counter, resilience)
+            outcome.mode = "full"
+            outcome.note = (f"dirty fraction {outcome.dirty_fraction:.2f} "
+                            f"over threshold {threshold:.2f}")
+            return outcome
+
+        delta = Constraints(
+            self.cons.num_vars,
+            np.concatenate([e.kind for e in extras]),
+            np.concatenate([e.lhs for e in extras]),
+            np.concatenate([e.rhs for e in extras]))
+        self._warm_start(delta, counter)
+        return outcome
+
+    def _warm_start(self, delta, counter) -> None:
+        """Monotone propagation from the old fixed point + new seeds."""
+        from ...pta.constraints import Kind
+
+        pts, graph = self.pts, self.graph
+        n = self.cons.num_vars
+        W = pts.words
+        rep = np.arange(n, dtype=np.int64)
+
+        changed = np.zeros(n, dtype=bool)
+        gained = np.zeros(n, dtype=bool)
+
+        # Seed: new address-of facts (changed only where a set grew).
+        p_addr, q_addr = delta.of_kind(Kind.ADDRESS_OF)
+        if p_addr.size:
+            rows = np.unique(p_addr)
+            before = pts.bits[rows].copy()
+            pts.add(p_addr, q_addr)
+            changed[rows] |= np.any(pts.bits[rows] != before, axis=1)
+        counter.launch("pta.init", items=int(p_addr.size),
+                       word_writes=int(p_addr.size), barriers=1)
+
+        # Seed: new static copy edges; their targets must pull once.
+        p_copy, q_copy = delta.of_kind(Kind.COPY)
+        edges_added = graph.add_edges(q_copy, p_copy)
+        if p_copy.size:
+            gained[np.unique(p_copy)] = True
+        counter.launch("pta.addedge", items=int(p_copy.size),
+                       word_writes=2 * int(p_copy.size), barriers=1)
+
+        # Full load/store lists; the delta's rows are the tail (adds
+        # concatenate), and are evaluated once regardless of ``changed``.
+        p_load, q_load = self.cons.of_kind(Kind.LOAD)
+        p_store, q_store = self.cons.of_kind(Kind.STORE)
+        n_new_load = int(delta.of_kind(Kind.LOAD)[0].size)
+        n_new_store = int(delta.of_kind(Kind.STORE)[0].size)
+
+        rounds = sweeps = 0
+        while rounds < _MAX_ROUNDS:
+            rounds += 1
+            # ---- Phase 1: evaluate enabled load/store constraints --- #
+            new_src: list = []
+            new_dst: list = []
+            items = reads = 0
+            for j, (p, q) in enumerate(zip(p_load.tolist(),
+                                           q_load.tolist())):
+                fresh = rounds == 1 and j >= p_load.size - n_new_load
+                if not changed[q] and not fresh:
+                    continue
+                vs = pts.members(q)
+                items += 1
+                reads += W + vs.size
+                if vs.size:
+                    new_src.append(rep[vs])
+                    new_dst.append(np.full(vs.size, p, dtype=np.int64))
+            for j, (p, q) in enumerate(zip(p_store.tolist(),
+                                           q_store.tolist())):
+                fresh = rounds == 1 and j >= p_store.size - n_new_store
+                if not changed[p] and not fresh:
+                    continue
+                vs = pts.members(p)
+                items += 1
+                reads += W + vs.size
+                if vs.size:
+                    new_src.append(np.full(vs.size, q, dtype=np.int64))
+                    new_dst.append(rep[vs])
+            added = 0
+            if new_src:
+                dst_cat = np.concatenate(new_dst)
+                added = graph.add_edges(np.concatenate(new_src), dst_cat)
+                gained[np.unique(dst_cat)] = True
+            edges_added += added
+            counter.launch("pta.addedge", items=items, word_reads=reads,
+                           word_writes=2 * added, barriers=1)
+
+            # ---- Phase 2: pull only nodes with a fresh/changed input - #
+            touched = changed
+            new_changed = np.zeros(n, dtype=bool)
+            pulls = reads = writes = 0
+            for v in range(n):
+                inc = graph.incoming(v)
+                if inc.size == 0:
+                    continue
+                if not gained[v] and not touched[inc].any():
+                    continue
+                pulls += 1
+                reads += (inc.size + 1) * W
+                if pts.union_into(v, inc):
+                    new_changed[v] = True
+                    writes += W
+            sweeps += 1
+            counter.launch("pta.propagate", items=pulls, word_reads=reads,
+                           word_writes=writes, barriers=1)
+            changed = new_changed
+            gained = np.zeros(n, dtype=bool)
+            if not changed.any() and added == 0:
+                break
+        self._publish(rounds, edges_added, sweeps)

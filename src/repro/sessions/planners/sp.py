@@ -1,0 +1,134 @@
+"""Session planner for survey propagation: honest about globality.
+
+SP's result is a trajectory, not a fixed point: message initialization,
+decimation order, and the WalkSAT endgame all draw from one RNG stream
+whose consumption pattern depends on the *entire* formula.  Removing or
+adding a single clause shifts every subsequent draw, so no local
+recompute can reproduce the cold answer byte-for-byte — and the
+differential guarantee outranks speed.  The planner therefore:
+
+* maintains the CNF incrementally (batches apply op-by-op, identical
+  to :func:`repro.serve.mutations.apply_clause_mutations`);
+* measures the dirty region honestly — the variable set reachable from
+  mutated clauses through clause-variable incidence, i.e. everything a
+  message-passing delta pass *would* have to re-relax;
+* serves unchanged batches from cache and otherwise recomputes fully
+  (``mode="full"``), so the dirty-fraction gauge quantifies exactly
+  what a trajectory-independent solver would unlock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...serve.mutations import _drop_indices, _op_rng, check_mutations
+from . import BatchOutcome
+
+__all__ = ["SpPlanner", "reachable_variables"]
+
+
+def reachable_variables(vars_: np.ndarray, num_vars: int,
+                        seed_vars: np.ndarray) -> int:
+    """Variables reachable from ``seed_vars`` through shared clauses.
+
+    ``vars_`` is the ``(clauses, k)`` CNF variable matrix; reachability
+    is the transitive closure of "appears in a clause with", the sound
+    invalidation region for message passing.
+    """
+    if num_vars == 0 or seed_vars.size == 0:
+        return 0
+    reached = np.zeros(num_vars, dtype=bool)
+    reached[seed_vars] = True
+    if vars_.size == 0:
+        return int(reached.sum())
+    while True:
+        before = int(reached.sum())
+        hit = reached[vars_].any(axis=1)
+        reached[np.unique(vars_[hit])] = True
+        if int(reached.sum()) == before:
+            return before
+
+
+class SpPlanner:
+    """Session state + conservative recompute for ``algorithm="sp"``."""
+
+    algorithm = "sp"
+
+    def __init__(self, params, strategy, seed: int) -> None:
+        self.params = dict(params)
+        self.strategy = dict(strategy)
+        self.seed = int(seed)
+        self.arrays: tuple = ()
+        self.summary: dict = {}
+
+    def open(self, counter, resilience=None) -> None:
+        from ...satsp.formula import random_ksat
+        from ...serve.mutations import apply_clause_mutations
+
+        p = self.params
+        cnf = random_ksat(int(p.get("num_vars", 200)),
+                          int(p.get("k", 3)),
+                          ratio=float(p.get("ratio", 3.2)),
+                          seed=self.seed)
+        mutations = check_mutations("sp", p.get("mutations", ()))
+        if mutations:
+            cnf = apply_clause_mutations(cnf, mutations)
+        self.cnf = cnf
+        self._solve_full(counter, resilience)
+
+    def _solve_full(self, counter, resilience) -> None:
+        from ...satsp.sp import SPConfig, solve_sp
+
+        kwargs = {k: self.strategy[k] for k in
+                  ("cached", "damping", "eps", "decimation_fraction",
+                   "require_convergence") if k in self.strategy}
+        res = solve_sp(self.cnf, SPConfig(seed=self.seed, **kwargs),
+                       counter=counter, resilience=resilience)
+        assignment = (res.assignment if res.assignment is not None
+                      else np.zeros(0, dtype=np.int64))
+        self.arrays = (assignment,)
+        self.summary = {"status": res.status, "phases": res.phases,
+                        "total_iterations": res.total_iterations,
+                        "fixed_by_sp": res.fixed_by_sp,
+                        "solved_by_walksat": res.solved_by_walksat}
+
+    def apply_batch(self, ops, counter, threshold: float,
+                    resilience=None) -> BatchOutcome:
+        from ...satsp.formula import CNF, random_ksat
+
+        vars_, signs = self.cnf.vars, self.cnf.signs
+        touched: list = []
+        changed_clauses = 0
+        for op in ops:
+            count = max(0, int(op.get("count", 0)))
+            if op["op"] == "add_clauses":
+                extra = random_ksat(self.cnf.num_vars, k=self.cnf.k,
+                                    num_clauses=count,
+                                    seed=int(op.get("seed", 0)))
+                vars_ = np.concatenate([vars_, extra.vars])
+                signs = np.concatenate([signs, extra.signs])
+                if extra.vars.size:
+                    touched.append(np.unique(extra.vars))
+                changed_clauses += int(extra.vars.shape[0])
+            elif op["op"] == "drop_clauses":
+                keep = _drop_indices(_op_rng(op), vars_.shape[0], count)
+                if not keep.all():
+                    touched.append(np.unique(vars_[~keep]))
+                changed_clauses += int(vars_.shape[0] - keep.sum())
+                vars_, signs = vars_[keep], signs[keep]
+            else:  # pragma: no cover - check_mutations rejects these
+                raise ValueError(f"unknown clause mutation {op['op']!r}")
+        self.cnf = CNF(self.cnf.num_vars, vars_, signs)
+
+        if changed_clauses == 0:
+            return BatchOutcome(mode="cached", dirty=0,
+                                population=self.cnf.num_vars,
+                                note="batch left the formula unchanged")
+        seeds = (np.unique(np.concatenate(touched)) if touched
+                 else np.zeros(0, dtype=np.int64))
+        dirty = reachable_variables(vars_, self.cnf.num_vars, seeds)
+        self._solve_full(counter, resilience)
+        return BatchOutcome(
+            mode="full", dirty=dirty, population=self.cnf.num_vars,
+            note="SP draws one global RNG trajectory; only a full solve "
+                 "reproduces the cold result")

@@ -1,0 +1,136 @@
+"""Session specifications: a job plus the batches it will stream.
+
+A :class:`SessionSpec` extends the :class:`repro.serve.jobs.JobSpec`
+idea to long-lived serving: the same (algorithm, params, strategy,
+seed) quadruple describes the *initial* input, and ``batches`` is an
+ordered list of mutation batches — each one a
+:mod:`repro.serve.mutations`-vocabulary op list — that the session will
+apply incrementally.  Like job specs, session specs are plain JSON-able
+data, and deterministic: a session that streams batches ``B1..Bk``
+must produce, after each batch, exactly the digest a cold job would
+with ``params["mutations"]`` set to the concatenation of the initial
+mutations and ``B1..Bk`` (the differential guarantee
+:mod:`repro.sessions.session` enforces by construction).
+
+``to_job_spec`` folds a session into a schedulable job: the batches
+ride in ``params["session"]`` and the pool's worker routes such jobs
+through :func:`repro.sessions.serve.run_session_job`, which gives
+sessions the whole serving envelope (retries, cooperative timeouts,
+fault injection, durable checkpoints) for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..serve.jobs import JobSpec
+from ..serve.mutations import check_mutations
+
+__all__ = ["SessionSpec", "DEFAULT_FULL_THRESHOLD"]
+
+#: dirty fraction above which delta planners fall back to a full
+#: recompute (the escape hatch: incremental work on a mostly-dirty
+#: input costs more than recomputing it)
+DEFAULT_FULL_THRESHOLD = 0.35
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One long-lived incremental session (plain, JSON-able data)."""
+
+    name: str
+    algorithm: str                      # dmr|insertion|sp|pta|mst|engine
+    params: dict = field(default_factory=dict)
+    strategy: dict | str = field(default_factory=dict)
+    seed: int = 0
+    #: ordered mutation batches; each entry is an op list in the
+    #: algorithm's :data:`repro.serve.mutations.OPS_BY_ALGORITHM`
+    #: vocabulary
+    batches: list = field(default_factory=list)
+    #: per-batch dirty-fraction ceiling for delta recompute
+    full_threshold: float = DEFAULT_FULL_THRESHOLD
+    #: durable-checkpoint cadence in batches (0 = no checkpoints)
+    checkpoint_every: int = 0
+    #: retained-op ceiling before the mutation log compacts
+    compact_after: int = 256
+    timeout_s: float | None = None
+    retries: int = 2
+    resilience: bool = False
+
+    def __post_init__(self) -> None:
+        for ops in self.batches:
+            check_mutations(self.algorithm, ops)
+
+    def to_dict(self) -> dict:
+        strategy = (self.strategy if isinstance(self.strategy, str)
+                    else dict(self.strategy))
+        return {"name": self.name, "algorithm": self.algorithm,
+                "params": dict(self.params), "strategy": strategy,
+                "seed": self.seed,
+                "batches": [[dict(op) for op in ops]
+                            for ops in self.batches],
+                "full_threshold": self.full_threshold,
+                "checkpoint_every": self.checkpoint_every,
+                "compact_after": self.compact_after,
+                "timeout_s": self.timeout_s, "retries": self.retries,
+                "resilience": self.resilience}
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "SessionSpec":
+        strategy = d.get("strategy", {})
+        return cls(
+            name=d["name"], algorithm=d["algorithm"],
+            params=dict(d.get("params", {})),
+            strategy=strategy if isinstance(strategy, str)
+            else dict(strategy),
+            seed=int(d.get("seed", 0)),
+            batches=[list(ops) for ops in d.get("batches", [])],
+            full_threshold=float(d.get("full_threshold",
+                                       DEFAULT_FULL_THRESHOLD)),
+            checkpoint_every=int(d.get("checkpoint_every", 0)),
+            compact_after=int(d.get("compact_after", 256)),
+            timeout_s=d.get("timeout_s"),
+            retries=int(d.get("retries", 2)),
+            resilience=bool(d.get("resilience", False)),
+        )
+
+    def to_job_spec(self) -> JobSpec:
+        """Fold the session into a pool-schedulable job.
+
+        The batch stream rides in ``params["session"]``; the worker
+        recognizes the envelope and runs the job through
+        :func:`repro.sessions.serve.run_session_job`.
+        """
+        params = dict(self.params)
+        params["session"] = {
+            "batches": [[dict(op) for op in ops] for ops in self.batches],
+            "full_threshold": self.full_threshold,
+            "compact_after": self.compact_after,
+        }
+        return JobSpec(
+            name=self.name, algorithm=self.algorithm, params=params,
+            strategy=self.strategy, seed=self.seed,
+            timeout_s=self.timeout_s, retries=self.retries,
+            checkpoint_every=self.checkpoint_every,
+            resilience=self.resilience)
+
+    @classmethod
+    def from_job_spec(cls, spec: JobSpec) -> "SessionSpec":
+        """Inverse of :meth:`to_job_spec` (raises when the job carries
+        no ``params["session"]`` envelope)."""
+        env = spec.params.get("session")
+        if env is None:
+            raise ValueError(
+                f"job {spec.name!r} carries no params['session'] envelope")
+        params = {k: v for k, v in spec.params.items() if k != "session"}
+        return cls(
+            name=spec.name, algorithm=spec.algorithm, params=params,
+            strategy=spec.strategy, seed=spec.seed,
+            batches=[list(ops) for ops in env.get("batches", [])],
+            full_threshold=float(env.get("full_threshold",
+                                         DEFAULT_FULL_THRESHOLD)),
+            checkpoint_every=spec.checkpoint_every,
+            compact_after=int(env.get("compact_after", 256)),
+            timeout_s=spec.timeout_s, retries=spec.retries,
+            resilience=spec.resilience)

@@ -40,6 +40,11 @@ def pytest_addoption(parser):
         help="run only the scenario-replay tests: replay every recorded "
              "scenario under tests/scenarios/ and fail on any golden "
              "mismatch (digest, op counters, resilience events)")
+    parser.addoption(
+        "--sessions", action="store_true", default=False,
+        help="run only the incremental-session tests: the repro.sessions "
+             "differential gate (delta recompute byte-identical to cold "
+             "full recompute), resume, serve-path, and cost-ratio checks")
 
 
 def _select_marked(config, items, marker: str):
@@ -64,6 +69,9 @@ def pytest_collection_modifyitems(config, items):
         return
     if config.getoption("--scenarios"):
         _select_marked(config, items, "scenario")
+        return
+    if config.getoption("--sessions"):
+        _select_marked(config, items, "session")
         return
     # Chaos tests are opt-in: they deliberately fail the virtual device,
     # so the default (tier-1) run skips them.
@@ -90,6 +98,10 @@ def pytest_configure(config):
         "markers",
         "scenario: recorded-scenario replay test (repro.scenarios); "
         "selectable alone via --scenarios")
+    config.addinivalue_line(
+        "markers",
+        "session: incremental-session differential test (repro.sessions); "
+        "selectable alone via --sessions")
 
 
 @pytest.fixture(autouse=True)

@@ -134,6 +134,29 @@ class TestCheckpointStore:
         p = store.path("../evil job")
         assert p.parent == store.root and "/" not in p.stem
 
+    def test_versioned_history_is_pruned_to_keep_latest(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep_latest=3)
+        for v in range(1, 8):
+            store.save("sess", {"batch": v}, version=v)
+        assert store.versions("sess") == [5, 6, 7]
+        # load() prefers the newest version; explicit versions still work
+        assert store.load("sess") == {"batch": 7}
+        assert store.load("sess", version=5) == {"batch": 5}
+        assert store.load("sess", version=2) is None
+
+    def test_pruning_is_per_job_and_spares_unversioned_slot(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep_latest=2)
+        store.save("a", {"round": 1})                 # unversioned slot
+        for v in range(1, 5):
+            store.save("a", {"v": v}, version=v)
+            store.save("b", {"v": v}, version=v)
+        assert store.versions("a") == [3, 4]
+        assert store.versions("b") == [3, 4]          # pruned independently
+        assert store.path("a").exists()               # slot never pruned
+        store.clear("a")
+        assert store.versions("a") == [] and not store.path("a").exists()
+        assert store.versions("b") == [3, 4]          # clear is per job too
+
     @given(round_=st.integers(0, 1000), stalled=st.integers(0, 5),
            payload=st.lists(st.integers(-2**31, 2**31 - 1), max_size=16))
     @settings(max_examples=40, deadline=None)

@@ -62,8 +62,8 @@ def emit_bench(figure: str, runs: list, *, append: bool | None = None) -> Path:
     ``append`` defaults from the ``REPRO_BENCH_APPEND`` environment
     knob: set it to keep a trajectory across suite runs instead of
     overwriting.  Appends are deduplicating: rows from a previous run
-    at the same ``(scale, seed)`` are replaced, not duplicated, so
-    re-running the suite twice leaves the trajectory unchanged.
+    at the same ``(scale, seed, config)`` are replaced, not duplicated,
+    so re-running the suite twice leaves the trajectory unchanged.
     """
     from repro.obs import write_bench
 

@@ -22,6 +22,9 @@ The tree::
     ├── ArtifactError                a persisted artifact failed to load
     │   ├── CorruptCheckpoint        unreadable serve checkpoint file
     │   └── CorruptScenario          unreadable/ill-schemed scenario file
+    ├── AdmissionRejected            the serving tier refused a submission
+    │   ├── QuotaExceeded            a per-tenant quota would be breached
+    │   └── Overloaded               global backpressure (queue full/draining)
     └── CavityError                  geometric/structural cavity failure
         ├── WalkStuck                point-location walk did not terminate
         ├── CavityOversized          cavity expansion blew its size cap
@@ -40,7 +43,8 @@ __all__ = [
     "ReproError", "DeviceFault", "OutOfDeviceMemory", "ChunkPoolExhausted",
     "RecyclePoolExhausted", "KernelAborted", "EngineStalled",
     "MaxRoundsExceeded", "ArtifactError", "CorruptCheckpoint",
-    "CorruptScenario", "CavityError", "WalkStuck", "CavityOversized",
+    "CorruptScenario", "AdmissionRejected", "QuotaExceeded", "Overloaded",
+    "CavityError", "WalkStuck", "CavityOversized",
     "NotStarShaped", "PointEscaped", "CavitySlotsExhausted",
 ]
 
@@ -161,6 +165,38 @@ class CorruptCheckpoint(ArtifactError):
 
 class CorruptScenario(ArtifactError):
     """A scenario file is unreadable, ill-formed, or wrongly schemed."""
+
+
+# ------------------------------------------------------------------ #
+# Serving-tier admission failures                                     #
+# ------------------------------------------------------------------ #
+
+class AdmissionRejected(ReproError):
+    """The serving tier (:mod:`repro.gateway`) refused a submission.
+
+    Typed so front ends can map the refusal onto the right wire status
+    (quota -> 429, overload -> 503) and so load generators distinguish
+    backpressure from genuine job failures.  ``tenant`` names the
+    submitting tenant; ``reason`` is the short machine-readable cause
+    (``"max_inflight"``, ``"queue_depth"``, ``"cost_budget"``,
+    ``"unknown_tenant"``, ``"queue_full"``, ``"draining"``).
+    """
+
+    def __init__(self, message: str, *, tenant: str = "?",
+                 reason: str = "rejected") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+
+
+class QuotaExceeded(AdmissionRejected):
+    """A per-tenant quota (in-flight, queue depth, or modeled-cost
+    budget) would be breached by admitting this job."""
+
+
+class Overloaded(AdmissionRejected):
+    """Global backpressure: the gateway's bounded queue is full, or it
+    is draining and no longer accepts work.  Retry later."""
 
 
 class SessionStateError(ReproError):

@@ -1,0 +1,43 @@
+"""repro.gateway — sharded multi-tenant serving over warm workers.
+
+The serving tier's front end: a fixed pool of prespawned worker
+processes (:mod:`repro.gateway.workers`) that import the driver stack
+once and then serve many jobs, a consistent-hash ring
+(:mod:`repro.gateway.ring`) that keeps ``(tenant, session)`` keys
+sticky to the worker holding their warm state, admission control with
+per-tenant quotas and typed backpressure
+(:mod:`repro.gateway.admission`), a job-lifecycle event bus
+(:mod:`repro.gateway.events`), and a stdlib HTTP/JSON API
+(:mod:`repro.gateway.http`, ``python -m repro.gateway serve``).
+
+The whole tier preserves the serving stack's core invariant: anything
+served through the gateway — plain jobs and incremental session batches
+alike, including work re-served by a crashed worker's replacement — is
+byte-identical to the inline ``workers=0`` path.
+"""
+
+from .admission import AdmissionController, TenantQuota
+from .events import EVENTS, EventBus, wire_gauges
+from .gateway import Gateway, GatewayConfig, JobHandle
+from .http import make_server, serve_in_thread
+from .ring import HashRing, shard_key, stable_hash
+from .workers import WarmWorker, WorkerPool, spool_name
+
+__all__ = [
+    "AdmissionController",
+    "TenantQuota",
+    "EVENTS",
+    "EventBus",
+    "wire_gauges",
+    "Gateway",
+    "GatewayConfig",
+    "JobHandle",
+    "make_server",
+    "serve_in_thread",
+    "HashRing",
+    "shard_key",
+    "stable_hash",
+    "WarmWorker",
+    "WorkerPool",
+    "spool_name",
+]

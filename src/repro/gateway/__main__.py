@@ -1,0 +1,205 @@
+"""CLI for the gateway: ``serve`` a config, or run the CI ``smoke``.
+
+``python -m repro.gateway serve examples/gateway_tenants.json`` starts
+the warm pool and the HTTP front end and blocks until interrupted.
+
+``python -m repro.gateway smoke examples/gateway_tenants.json`` is the
+end-to-end gate CI runs: it starts a gateway plus HTTP server
+in-process, drives the config's smoke plan over a *real* socket
+(``http.client``, not direct method calls), kills a warm worker
+mid-session on cue, and asserts
+
+* every job digest equals an inline (``workers=0``) replay of the same
+  spec,
+* every session-batch digest equals an inline
+  :class:`repro.sessions.Session` replay of the same stream — including
+  the batches served by the crashed worker's replacement,
+* the kill actually happened (``worker_replaced`` fired) and the
+  gateway drained cleanly afterwards.
+
+Exit status 0 on success, 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import tempfile
+
+from ..serve.jobs import JobSpec
+from ..serve.pool import run_job
+from ..sessions import Session, SessionSpec
+from .gateway import Gateway, GatewayConfig
+from .http import make_server, serve_in_thread
+
+
+def _load_config(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _request(conn: http.client.HTTPConnection, method: str, path: str,
+             body: dict | None = None) -> tuple[int, dict]:
+    payload = json.dumps(body).encode() if body is not None else None
+    conn.request(method, path, body=payload,
+                 headers={"Content-Type": "application/json"})
+    resp = conn.getresponse()
+    return resp.status, json.loads(resp.read() or b"{}")
+
+
+# ------------------------------------------------------------------ #
+# serve                                                               #
+# ------------------------------------------------------------------ #
+
+def cmd_serve(args) -> int:
+    config = _load_config(args.config)
+    gateway = Gateway(GatewayConfig.from_dict(config.get("gateway", {})))
+    with gateway:
+        server = make_server(gateway, host=args.host, port=args.port,
+                             verbose=True)
+        host, port = server.server_address[:2]
+        print(f"repro-gateway listening on http://{host}:{port} "
+              f"({gateway.pool.size} warm workers)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("draining ...")
+            server.shutdown()
+            gateway.drain()
+    return 0
+
+
+# ------------------------------------------------------------------ #
+# smoke                                                               #
+# ------------------------------------------------------------------ #
+
+def _check(ok: bool, what: str, failures: list) -> None:
+    print(f"  {'ok  ' if ok else 'FAIL'} {what}")
+    if not ok:
+        failures.append(what)
+
+
+def cmd_smoke(args) -> int:
+    config = _load_config(args.config)
+    smoke = config.get("smoke", {})
+    failures: list = []
+
+    with tempfile.TemporaryDirectory(prefix="gateway-smoke-") as spool:
+        gcfg = dict(config.get("gateway", {}))
+        gcfg.setdefault("checkpoint_dir", spool + "/gateway")
+        gateway = Gateway(GatewayConfig.from_dict(gcfg))
+        with gateway:
+            server = make_server(gateway)
+            serve_in_thread(server)
+            host, port = server.server_address[:2]
+            conn = http.client.HTTPConnection(host, port, timeout=600)
+            print(f"smoke: gateway up at http://{host}:{port}")
+
+            status, health = _request(conn, "GET", "/healthz")
+            _check(status == 200 and health.get("ok"),
+                   f"healthz {health}", failures)
+
+            # -- mixed job batch, grouped per tenant ----------------- #
+            by_tenant: dict[str, list] = {}
+            for entry in smoke.get("jobs", ()):
+                by_tenant.setdefault(entry["tenant"], []).append(
+                    entry["job"])
+            for tenant, jobs in by_tenant.items():
+                status, reply = _request(
+                    conn, "POST", "/v1/batch?wait=1",
+                    {"tenant": tenant, "jobs": jobs})
+                _check(status == 200,
+                       f"batch {tenant}: HTTP {status}", failures)
+                for job, out in zip(jobs, reply.get("jobs", ())):
+                    inline = run_job(JobSpec.from_dict(job),
+                                     spool + f"/inline/{tenant}")
+                    want = (inline.result.digest
+                            if inline.result is not None else None)
+                    _check(out.get("status") == (
+                               "ok" if inline.ok else "failed"),
+                           f"job {tenant}/{job['name']} status "
+                           f"{out.get('status')}", failures)
+                    _check(out.get("digest") == want,
+                           f"job {tenant}/{job['name']} digest "
+                           f"{out.get('digest')} == inline {want}",
+                           failures)
+
+            # -- session stream with a mid-stream worker kill -------- #
+            plan = smoke.get("session")
+            if plan:
+                tenant = plan["tenant"]
+                spec = SessionSpec.from_dict(plan["spec"])
+                kill_after = int(plan.get("kill_after_batch", 0))
+                inline_session = Session.open(spec)
+                for i, ops in enumerate(plan["batches"], start=1):
+                    status, out = _request(
+                        conn, "POST", "/v1/sessions/batch",
+                        {"tenant": tenant, "session": plan["spec"],
+                         "ops": ops})
+                    want = inline_session.apply_batch(ops).digest
+                    _check(status == 200 and out.get("status") == "ok",
+                           f"session batch {i}: HTTP {status} "
+                           f"{out.get('status')}", failures)
+                    _check(out.get("digest") == want,
+                           f"session batch {i} digest "
+                           f"{out.get('digest')} == inline {want}",
+                           failures)
+                    if i == kill_after:
+                        gateway.kill_worker(out["slot"])
+                        print(f"  chaos: killed worker slot "
+                              f"{out['slot']} after batch {i}")
+                if kill_after:
+                    _check(gateway.bus.count("worker_replaced") >= 1,
+                           "killed worker was replaced", failures)
+                    _check(gateway.bus.count("checkpointed") >= 1,
+                           "session batches were checkpointed", failures)
+                status, out = _request(
+                    conn, "POST", "/v1/sessions/close",
+                    {"tenant": tenant, "session": spec.name})
+                _check(status == 200 and out.get("ok"),
+                       "session close", failures)
+
+            status, stats = _request(conn, "GET", "/stats")
+            _check(status == 200 and
+                   stats["admission"]["total_pending"] == 0,
+                   "ledger settled (no pending reservations)", failures)
+            conn.close()
+            server.shutdown()
+            gateway.drain()
+            _check(gateway.bus.count("drained") == 1,
+                   "gateway drained cleanly", failures)
+
+    if failures:
+        print(f"smoke: {len(failures)} failure(s)")
+        return 1
+    print("smoke: all checks passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway",
+        description="Sharded multi-tenant gateway over warm workers.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_serve = sub.add_parser("serve", help="run the HTTP front end")
+    p_serve.add_argument("config", help="gateway config JSON")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8777)
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_smoke = sub.add_parser(
+        "smoke", help="end-to-end smoke: HTTP drive + digest identity "
+                      "+ chaos kill + clean drain")
+    p_smoke.add_argument("config", help="gateway config JSON with a "
+                                        "'smoke' plan")
+    p_smoke.set_defaults(fn=cmd_smoke)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Admission control and backpressure for the gateway.
+
+Every submission passes through one :class:`AdmissionController` before
+it is allowed to touch a worker queue.  The controller is the only
+stateful judge of "should this job exist right now", and it rejects
+with *typed* errors (:class:`repro.errors.QuotaExceeded`,
+:class:`repro.errors.Overloaded`) so the HTTP front end can map refusal
+onto the right wire status (429 vs 503) and load generators can tell
+backpressure from failure.
+
+Per-tenant quotas (:class:`TenantQuota`):
+
+* ``max_inflight`` — admitted-but-unfinished jobs (dispatched to a
+  worker queue or executing);
+* ``max_queued`` — admitted-but-not-yet-started jobs (the tenant's
+  burst allowance while workers are busy);
+* ``cost_budget`` — sum of the modeled cost proxies
+  (:func:`repro.serve.jobs.estimate_cost`) of unfinished jobs; a tenant
+  cannot park three enormous jobs just because they are only three.
+
+Globally, ``max_total_pending`` bounds the whole gateway's admitted
+backlog — the classic bounded queue that turns overload into fast 503s
+instead of unbounded memory growth and collapsing latency.
+
+Accounting is release-based, not time-based: :meth:`admit` reserves,
+:meth:`started` moves queued -> running, :meth:`release` frees — all
+under one lock, so concurrent HTTP handler threads see a consistent
+ledger.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..errors import Overloaded, QuotaExceeded
+
+__all__ = ["AdmissionController", "TenantQuota"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission limits (plain, JSON-able data)."""
+
+    max_inflight: int = 8
+    max_queued: int = 32
+    #: modeled-cost budget over unfinished jobs (None = unlimited)
+    cost_budget: float | None = None
+
+    def to_dict(self) -> dict:
+        d = {"max_inflight": self.max_inflight,
+             "max_queued": self.max_queued}
+        if self.cost_budget is not None:
+            d["cost_budget"] = self.cost_budget
+        return d
+
+    @classmethod
+    def from_dict(cls, d) -> "TenantQuota":
+        budget = d.get("cost_budget")
+        return cls(max_inflight=int(d.get("max_inflight", 8)),
+                   max_queued=int(d.get("max_queued", 32)),
+                   cost_budget=None if budget is None else float(budget))
+
+
+class _Ledger:
+    """One tenant's live counters."""
+
+    __slots__ = ("queued", "running", "cost", "admitted", "rejected",
+                 "finished")
+
+    def __init__(self) -> None:
+        self.queued = 0
+        self.running = 0
+        self.cost = 0.0
+        self.admitted = 0
+        self.rejected = 0
+        self.finished = 0
+
+    @property
+    def pending(self) -> int:
+        return self.queued + self.running
+
+
+class AdmissionController:
+    """Quota/backpressure gatekeeper shared by every gateway entry point.
+
+    ``quotas`` maps tenant name to :class:`TenantQuota`.  Unknown
+    tenants are rejected unless a ``default`` quota is supplied (the
+    multi-tenant posture: you are either configured or you are not a
+    tenant).
+    """
+
+    def __init__(self, quotas=None, *, default: TenantQuota | None = None,
+                 max_total_pending: int = 256) -> None:
+        self.quotas = dict(quotas or {})
+        self.default = default
+        self.max_total_pending = int(max_total_pending)
+        self._lock = threading.Lock()
+        self._ledgers: dict[str, _Ledger] = {}
+        self._draining = False
+
+    # ------------------------------------------------------------- #
+    # Lifecycle hooks                                                #
+    # ------------------------------------------------------------- #
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        quota = self.quotas.get(tenant, self.default)
+        if quota is None:
+            raise QuotaExceeded(
+                f"unknown tenant {tenant!r} (no quota configured and no "
+                f"default quota)", tenant=tenant, reason="unknown_tenant")
+        return quota
+
+    def admit(self, tenant: str, cost: float = 0.0) -> None:
+        """Reserve capacity for one job, or raise the typed rejection."""
+        with self._lock:
+            ledger = self._ledgers.setdefault(tenant, _Ledger())
+            try:
+                self._check(tenant, ledger, float(cost))
+            except (QuotaExceeded, Overloaded):
+                ledger.rejected += 1
+                raise
+            ledger.queued += 1
+            ledger.cost += float(cost)
+            ledger.admitted += 1
+
+    def _check(self, tenant: str, ledger: _Ledger, cost: float) -> None:
+        if self._draining:
+            raise Overloaded("gateway is draining and accepts no new work",
+                             tenant=tenant, reason="draining")
+        total = sum(led.pending for led in self._ledgers.values())
+        if total >= self.max_total_pending:
+            raise Overloaded(
+                f"gateway backlog full ({total} jobs pending, bound "
+                f"{self.max_total_pending})", tenant=tenant,
+                reason="queue_full")
+        quota = self.quota_for(tenant)
+        if ledger.pending >= quota.max_inflight:
+            raise QuotaExceeded(
+                f"tenant {tenant!r} has {ledger.pending} jobs in flight "
+                f"(quota {quota.max_inflight})", tenant=tenant,
+                reason="max_inflight")
+        if ledger.queued >= quota.max_queued:
+            raise QuotaExceeded(
+                f"tenant {tenant!r} has {ledger.queued} jobs queued "
+                f"(quota {quota.max_queued})", tenant=tenant,
+                reason="queue_depth")
+        if quota.cost_budget is not None and \
+                ledger.cost + cost > quota.cost_budget:
+            raise QuotaExceeded(
+                f"tenant {tenant!r} would exceed its modeled-cost budget "
+                f"({ledger.cost:.1f} + {cost:.1f} > {quota.cost_budget:.1f})",
+                tenant=tenant, reason="cost_budget")
+
+    def started(self, tenant: str) -> None:
+        """A reserved job began executing (queued -> running)."""
+        with self._lock:
+            ledger = self._ledgers.get(tenant)
+            if ledger is not None and ledger.queued > 0:
+                ledger.queued -= 1
+                ledger.running += 1
+
+    def requeued(self, tenant: str) -> None:
+        """A running job went back to the queue (worker death requeue)."""
+        with self._lock:
+            ledger = self._ledgers.get(tenant)
+            if ledger is not None and ledger.running > 0:
+                ledger.running -= 1
+                ledger.queued += 1
+
+    def release(self, tenant: str, cost: float = 0.0) -> None:
+        """A job finished (any outcome); free its reservation."""
+        with self._lock:
+            ledger = self._ledgers.get(tenant)
+            if ledger is None:
+                return
+            if ledger.running > 0:
+                ledger.running -= 1
+            elif ledger.queued > 0:
+                ledger.queued -= 1
+            ledger.cost = max(0.0, ledger.cost - float(cost))
+            ledger.finished += 1
+
+    # ------------------------------------------------------------- #
+    # Drain / introspection                                          #
+    # ------------------------------------------------------------- #
+
+    def drain(self) -> None:
+        """Stop admitting; already-admitted jobs keep their reservations."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def pending(self, tenant: str | None = None) -> int:
+        with self._lock:
+            if tenant is not None:
+                ledger = self._ledgers.get(tenant)
+                return ledger.pending if ledger else 0
+            return sum(led.pending for led in self._ledgers.values())
+
+    def snapshot(self) -> dict:
+        """A JSON-able view of the ledger (the ``/stats`` payload)."""
+        with self._lock:
+            return {
+                "draining": self._draining,
+                "max_total_pending": self.max_total_pending,
+                "total_pending": sum(led.pending
+                                     for led in self._ledgers.values()),
+                "tenants": {
+                    tenant: {"queued": led.queued, "running": led.running,
+                             "cost": round(led.cost, 6),
+                             "admitted": led.admitted,
+                             "rejected": led.rejected,
+                             "finished": led.finished}
+                    for tenant, led in sorted(self._ledgers.items())},
+            }

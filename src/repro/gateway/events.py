@@ -1,0 +1,103 @@
+"""Job-lifecycle event bus for the gateway.
+
+One process-local pub/sub channel, deliberately tiny: the gateway
+publishes a flat dict per lifecycle transition and every subscriber
+sees every event, synchronously, in publish order.  That synchronous
+discipline is what makes the bus usable from tests (assert on
+``bus.history``/``bus.counts`` right after a call returns) and from the
+observability layer (:func:`wire_gauges` forwards running counts as
+:mod:`repro.obs` gauges).
+
+Events carried (``event`` field):
+
+========================  ==========================================
+``submitted``             job/session-batch admitted and enqueued
+``started``               a warm worker began executing it
+``retried``               requeued after its worker died mid-flight
+``degraded``              finished, but resilience absorbed faults
+``checkpointed``          a durable checkpoint was spooled for it
+``done`` / ``failed``     terminal outcomes
+``rejected``              refused by admission control
+``worker_spawned``        a warm worker finished warm-up (ready)
+``worker_exit``           a worker process died (crash or kill)
+``worker_replaced``       its deterministic replacement is in place
+``drained``               the pool drained and stopped cleanly
+========================  ==========================================
+
+A bounded ``history`` deque keeps the most recent events for
+diagnostics endpoints (``GET /stats``) without ever growing without
+bound under sustained load.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+
+__all__ = ["EVENTS", "EventBus", "wire_gauges"]
+
+EVENTS = ("submitted", "started", "retried", "degraded", "checkpointed",
+          "done", "failed", "rejected", "worker_spawned", "worker_exit",
+          "worker_replaced", "drained")
+
+
+class EventBus:
+    """Synchronous pub/sub with bounded history and running counts."""
+
+    def __init__(self, *, history: int = 1024) -> None:
+        self._lock = threading.Lock()
+        self._subscribers: list = []
+        self.history: deque = deque(maxlen=history)
+        self.counts: Counter = Counter()
+        self._seq = 0
+
+    def subscribe(self, fn) -> None:
+        """Register ``fn(event_dict)``; called inline on every publish."""
+        with self._lock:
+            self._subscribers.append(fn)
+
+    def unsubscribe(self, fn) -> None:
+        with self._lock:
+            if fn in self._subscribers:
+                self._subscribers.remove(fn)
+
+    def publish(self, event: str, **facts) -> dict:
+        """Publish ``event`` with ``facts``; returns the event dict."""
+        if event not in EVENTS:
+            raise ValueError(f"unknown event {event!r}; known: {EVENTS}")
+        with self._lock:
+            self._seq += 1
+            ev = {"seq": self._seq, "event": event, **facts}
+            self.history.append(ev)
+            self.counts[event] += 1
+            subscribers = list(self._subscribers)
+        for fn in subscribers:
+            fn(ev)
+        return ev
+
+    def count(self, event: str) -> int:
+        return self.counts.get(event, 0)
+
+    def of(self, event: str) -> list[dict]:
+        """Retained history entries for ``event`` (oldest first)."""
+        return [ev for ev in self.history if ev["event"] == event]
+
+    def snapshot(self) -> dict:
+        """Counts plus the tail of the history (for ``/stats``)."""
+        with self._lock:
+            return {"counts": dict(self.counts),
+                    "recent": list(self.history)[-32:]}
+
+
+def wire_gauges(bus: EventBus, tracer) -> None:
+    """Forward the bus's running counts to :mod:`repro.obs` gauges.
+
+    Every published event bumps ``gateway.events.<name>``; subscribers
+    that need finer signals (queue depth, in-flight) get them from the
+    gateway itself, which gauges those directly.
+    """
+    def _forward(ev: dict) -> None:
+        tracer.on_gauge(f"gateway.events.{ev['event']}",
+                        bus.count(ev["event"]))
+
+    bus.subscribe(_forward)

@@ -1,0 +1,538 @@
+"""The gateway: sharded multi-tenant serving over a warm worker pool.
+
+This is the policy layer that turns the mechanism modules into a
+service front end:
+
+* :class:`~repro.gateway.admission.AdmissionController` decides whether
+  a submission may exist (typed 429/503 rejections);
+* :class:`~repro.gateway.ring.HashRing` decides *where* it runs —
+  ``(tenant, session_id)`` keys stick to slots, so consecutive batches
+  of one session always hit the worker holding its warm
+  :class:`repro.sessions.Session` state and checkpoint spool;
+* :class:`~repro.gateway.workers.WorkerPool` executes, and the
+  gateway's collector thread turns its message stream into resolved
+  :class:`JobHandle`\\ s, admission releases, and
+  :class:`~repro.gateway.events.EventBus` lifecycle events;
+* worker death (crash or chaos :meth:`Gateway.kill_worker`) is healed
+  inline: the slot is respawned deterministically (same ring arc, next
+  incarnation) and every unresolved message is requeued in its
+  original send order — plain jobs re-execute (deterministic by
+  construction), session batches resume from the versioned checkpoint
+  spool and answer idempotently.
+
+Digest identity is the invariant everything above preserves: a job
+served through the gateway runs the *same* ``_execute_job`` body as the
+``workers=0`` inline path, and a session batch applies through the same
+:class:`~repro.sessions.Session` delta planners — so results are
+byte-identical to inline replay, which the smoke step and the test
+suite assert end to end.
+"""
+
+from __future__ import annotations
+
+import itertools
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import Overloaded
+from ..serve.jobs import JobSpec, estimate_cost
+from ..sessions.spec import SessionSpec
+from .admission import AdmissionController, TenantQuota
+from .events import EventBus, wire_gauges
+from .ring import HashRing, shard_key
+from .workers import WorkerPool
+
+__all__ = ["Gateway", "GatewayConfig", "JobHandle"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Gateway deployment shape (plain, JSON-able data)."""
+
+    workers: int = 2
+    replicas: int = 64
+    max_total_pending: int = 256
+    tenants: dict = field(default_factory=dict)     # name -> TenantQuota
+    default_quota: TenantQuota | None = None
+    checkpoint_dir: str | None = None
+    start_method: str | None = None
+
+    @classmethod
+    def from_dict(cls, d) -> "GatewayConfig":
+        default = d.get("default_quota")
+        return cls(
+            workers=int(d.get("workers", 2)),
+            replicas=int(d.get("replicas", 64)),
+            max_total_pending=int(d.get("max_total_pending", 256)),
+            tenants={name: TenantQuota.from_dict(q)
+                     for name, q in d.get("tenants", {}).items()},
+            default_quota=(TenantQuota.from_dict(default)
+                           if default is not None else None),
+            checkpoint_dir=d.get("checkpoint_dir"),
+            start_method=d.get("start_method"),
+        )
+
+
+@dataclass
+class JobHandle:
+    """The caller's future for one admitted submission."""
+
+    job_id: str
+    tenant: str
+    kind: str                       # "job" | "session_batch" | "ping"
+    name: str                       # spec/session name
+    slot: int
+    cost: float = 0.0
+    status: str = "queued"          # queued|running|ok|failed
+    #: the pool's :class:`~repro.serve.pool.JobRecord` (plain jobs)
+    record: object | None = None
+    #: the worker's reply dict (session batches, pongs)
+    payload: dict | None = None
+    error: str | None = None
+    retries: int = 0
+    #: whether this handle holds an admission reservation (pings and
+    #: session closes do not; releasing one would corrupt the ledger)
+    admitted: bool = True
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    done_at: float | None = None
+    _done: threading.Event = field(default_factory=threading.Event,
+                                   repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def latency_s(self) -> float:
+        """Submit-to-done seconds (NaN until resolved)."""
+        if self.done_at is None:
+            return float("nan")
+        return self.done_at - self.submitted_at
+
+    def wait(self, timeout: float | None = None) -> "JobHandle":
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"{self.job_id} not done after {timeout}s "
+                f"(status {self.status!r})")
+        return self
+
+    def digest(self) -> str | None:
+        """The result digest, whatever kind of work this was."""
+        if self.record is not None and self.record.result is not None:
+            return self.record.result.digest
+        if self.payload is not None:
+            result = self.payload.get("result")
+            if result:
+                return result.get("digest")
+        return None
+
+    def to_dict(self) -> dict:
+        d = {"job_id": self.job_id, "tenant": self.tenant,
+             "kind": self.kind, "name": self.name, "slot": self.slot,
+             "status": self.status, "retries": self.retries,
+             "digest": self.digest(), "error": self.error}
+        if self.done_at is not None:
+            d["latency_s"] = self.latency_s
+        record = self.record
+        if record is not None:
+            d["attempts"] = record.attempts
+            d["resumed_round"] = record.resumed_round
+            d["degraded"] = record.degraded
+            d["failures"] = list(record.failures)
+            if record.result is not None:
+                d["summary"] = dict(record.result.summary)
+        if self.payload is not None:
+            d["batch"] = self.payload.get("result")
+            d["replayed"] = self.payload.get("replayed", False)
+        return d
+
+
+class Gateway:
+    """Sharded, quota-guarded serving over prespawned warm workers."""
+
+    def __init__(self, config: GatewayConfig | dict | None = None, *,
+                 tracer=None) -> None:
+        if config is None:
+            config = GatewayConfig()
+        elif isinstance(config, dict):
+            config = GatewayConfig.from_dict(config)
+        self.config = config
+        self.bus = EventBus()
+        self.tracer = tracer
+        if tracer is not None:
+            wire_gauges(self.bus, tracer)
+        self.admission = AdmissionController(
+            config.tenants, default=config.default_quota,
+            max_total_pending=config.max_total_pending)
+        self.pool: WorkerPool | None = None
+        self.ring = HashRing(replicas=config.replicas)
+        self._handles: dict[str, JobHandle] = {}
+        self._sessions: dict[tuple[str, str], dict] = {}
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        self._ready = threading.Event()
+        self._closing = threading.Event()
+        self._collector: threading.Thread | None = None
+        self._tmp_spool: tempfile.TemporaryDirectory | None = None
+
+    # ------------------------------------------------------------- #
+    # Lifecycle                                                      #
+    # ------------------------------------------------------------- #
+
+    def start(self, timeout: float = 120.0) -> "Gateway":
+        """Prespawn the pool, build the ring, start the collector, and
+        block until every worker finished warm-up."""
+        if self.pool is not None:
+            return self
+        checkpoint_dir = self.config.checkpoint_dir
+        if checkpoint_dir is None:
+            self._tmp_spool = tempfile.TemporaryDirectory(
+                prefix="repro-gateway-spool-")
+            checkpoint_dir = self._tmp_spool.name
+        self.checkpoint_dir = str(Path(checkpoint_dir))
+        self.pool = WorkerPool(self.config.workers,
+                               checkpoint_dir=self.checkpoint_dir,
+                               start_method=self.config.start_method)
+        for node in self.pool.nodes():
+            self.ring.add(node)
+        self._collector = threading.Thread(target=self._collect,
+                                           name="gateway-collector",
+                                           daemon=True)
+        self._collector.start()
+        if not self._ready.wait(timeout):
+            self.stop()
+            raise TimeoutError(f"workers not warm after {timeout}s")
+        return self
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Refuse new work, wait for the backlog, stop workers cleanly."""
+        self.admission.drain()
+        deadline = time.monotonic() + timeout
+        while self.pool.outstanding_total() > 0:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"{self.pool.outstanding_total()} jobs still "
+                    f"outstanding after {timeout}s drain budget")
+            time.sleep(0.02)
+        self.pool.drain(timeout=max(1.0, deadline - time.monotonic()))
+        self.bus.publish("drained", workers=self.pool.size)
+        self._shutdown_collector()
+
+    def stop(self) -> None:
+        """Hard stop: terminate workers, join the collector."""
+        if self.pool is not None:
+            self.pool.stop()
+        self._shutdown_collector()
+        if self._tmp_spool is not None:
+            self._tmp_spool.cleanup()
+            self._tmp_spool = None
+
+    def _shutdown_collector(self) -> None:
+        self._closing.set()
+        if self._collector is not None and self._collector.is_alive():
+            self._collector.join(timeout=5.0)
+
+    # ------------------------------------------------------------- #
+    # Submission                                                     #
+    # ------------------------------------------------------------- #
+
+    def _admit(self, tenant: str, cost: float, *, name: str):
+        try:
+            self.admission.admit(tenant, cost)
+        except Exception as exc:
+            self.bus.publish("rejected", tenant=tenant, name=name,
+                             reason=getattr(exc, "reason", "rejected"))
+            raise
+
+    def _register(self, tenant: str, kind: str, name: str, slot: int,
+                  cost: float, *, admitted: bool = True) -> JobHandle:
+        job_id = f"{tenant}:{name}:{next(self._seq)}"
+        handle = JobHandle(job_id=job_id, tenant=tenant, kind=kind,
+                          name=name, slot=slot, cost=cost,
+                          admitted=admitted,
+                          submitted_at=time.monotonic())
+        with self._lock:
+            self._handles[job_id] = handle
+        return handle
+
+    def submit(self, tenant: str, spec: JobSpec | dict, *,
+               key: str | None = None) -> JobHandle:
+        """Admit and dispatch one job; returns immediately.
+
+        ``key`` overrides the sharding key (default: the spec name), so
+        related jobs can be co-located deliberately.
+        """
+        if isinstance(spec, dict):
+            spec = JobSpec.from_dict(spec)
+        if self.pool is None:
+            raise Overloaded("gateway is not started", tenant=tenant,
+                             reason="draining")
+        cost = estimate_cost(spec)
+        self._admit(tenant, cost, name=spec.name)
+        slot = self.pool.slot_of(
+            self.ring.place(shard_key(tenant, key or spec.name)))
+        handle = self._register(tenant, "job", spec.name, slot, cost)
+        self.pool.send(slot, {"type": "job", "job_id": handle.job_id,
+                              "tenant": tenant, "spec": spec.to_dict(),
+                              "submitted_at": handle.submitted_at})
+        self.bus.publish("submitted", tenant=tenant, job_id=handle.job_id,
+                         name=spec.name, slot=slot, kind="job")
+        self._gauge_depth()
+        return handle
+
+    def submit_batch(self, tenant: str, specs) -> list[JobHandle]:
+        """Admit and dispatch a list of jobs (all-or-each: a rejection
+        midway leaves earlier submissions running)."""
+        return [self.submit(tenant, spec) for spec in specs]
+
+    def session_batch(self, tenant: str, session: SessionSpec | dict,
+                      ops) -> JobHandle:
+        """Stream one mutation batch into a sticky warm session.
+
+        ``session`` is the session's *identity* — its
+        :class:`~repro.sessions.SessionSpec` fields minus any batch
+        stream (batches ride in ``ops``, one call per batch, in
+        order).  The first call cold-opens the session on its ring
+        slot; later calls must present the same identity.
+        """
+        if isinstance(session, dict):
+            session = SessionSpec.from_dict(session)
+        if session.batches:
+            # The stream arrives call-by-call; a spec-embedded batch
+            # list would make the identity drift batch to batch.
+            session = SessionSpec.from_dict(
+                {**session.to_dict(), "batches": []})
+        if self.pool is None:
+            raise Overloaded("gateway is not started", tenant=tenant,
+                             reason="draining")
+        base = JobSpec(name=session.name, algorithm=session.algorithm,
+                       params=session.params, strategy=session.strategy,
+                       seed=session.seed)
+        cost = 0.25 * estimate_cost(base)
+        self._admit(tenant, cost, name=session.name)
+        skey = (tenant, session.name)
+        with self._lock:
+            state = self._sessions.get(skey)
+            if state is None:
+                state = {"spec": session.to_dict(), "next_index": 1}
+                self._sessions[skey] = state
+            elif state["spec"] != session.to_dict():
+                msg = (f"session {session.name!r} of tenant {tenant!r} "
+                       f"was opened with a different spec; close it "
+                       f"before reusing the name")
+                self.admission.release(tenant, cost)
+                raise ValueError(msg)
+            index = state["next_index"]
+            state["next_index"] += 1
+        slot = self.pool.slot_of(
+            self.ring.place(shard_key(tenant, session.name)))
+        handle = self._register(tenant, "session_batch", session.name,
+                                slot, cost)
+        self.pool.send(slot, {
+            "type": "session_batch", "job_id": handle.job_id,
+            "tenant": tenant, "session": state["spec"],
+            "ops": [dict(op) for op in ops], "batch_index": index,
+            "submitted_at": handle.submitted_at})
+        self.bus.publish("submitted", tenant=tenant, job_id=handle.job_id,
+                         name=session.name, slot=slot, kind="session_batch",
+                         batch=index)
+        self._gauge_depth()
+        return handle
+
+    def close_session(self, tenant: str, name: str) -> JobHandle:
+        """Discard a session's warm state and spool history."""
+        skey = (tenant, name)
+        with self._lock:
+            self._sessions.pop(skey, None)
+        slot = self.pool.slot_of(self.ring.place(shard_key(tenant, name)))
+        handle = self._register(tenant, "session_close", name, slot, 0.0,
+                                admitted=False)
+        self.pool.send(slot, {"type": "session_close",
+                              "job_id": handle.job_id, "tenant": tenant,
+                              "session": name})
+        return handle
+
+    # ------------------------------------------------------------- #
+    # Introspection / health                                         #
+    # ------------------------------------------------------------- #
+
+    def handle(self, job_id: str) -> JobHandle | None:
+        with self._lock:
+            return self._handles.get(job_id)
+
+    def ping(self, timeout: float = 10.0) -> dict[int, dict]:
+        """Health-check every slot; returns ``slot -> pong`` facts.
+
+        A slot that does not answer in time is reported with
+        ``{"ok": False}`` — its worker is wedged or dead (the collector
+        will notice death on its own and replace it).
+        """
+        handles = {}
+        for slot, worker in self.pool.workers.items():
+            handle = self._register("_health", "ping", worker.name, slot,
+                                    0.0, admitted=False)
+            self.pool.send(slot, {"type": "ping",
+                                  "job_id": handle.job_id})
+            handles[slot] = handle
+        out = {}
+        deadline = time.monotonic() + timeout
+        for slot, handle in handles.items():
+            try:
+                handle.wait(max(0.01, deadline - time.monotonic()))
+                out[slot] = {"ok": True, **(handle.payload or {})}
+            except TimeoutError:
+                out[slot] = {"ok": False}
+        return out
+
+    def kill_worker(self, slot: int) -> None:
+        """Chaos hook: SIGKILL one warm worker.  The collector detects
+        the death, replaces the slot deterministically, and requeues its
+        unresolved work."""
+        self.pool.kill(slot)
+
+    def stats(self) -> dict:
+        pool = self.pool
+        return {
+            "workers": {
+                "size": pool.size if pool else 0,
+                "alive": sum(w.alive for w in pool.workers.values())
+                if pool else 0,
+                "incarnations": {w.node: w.incarnation
+                                 for w in pool.workers.values()}
+                if pool else {},
+            },
+            "ring": {"nodes": self.ring.nodes(),
+                     "replicas": self.ring.replicas},
+            "admission": self.admission.snapshot(),
+            "events": self.bus.snapshot(),
+            "sessions": sorted(f"{t}/{s}" for t, s in self._sessions),
+        }
+
+    def _gauge_depth(self) -> None:
+        if self.tracer is not None:
+            self.tracer.on_gauge("gateway.pending",
+                                 self.admission.pending())
+
+    # ------------------------------------------------------------- #
+    # Collector                                                      #
+    # ------------------------------------------------------------- #
+
+    def _collect(self) -> None:
+        while not self._closing.is_set():
+            msg = self.pool.poll(timeout=0.05)
+            if msg is not None:
+                self._dispatch(msg)
+            for slot in self.pool.dead_slots():
+                self._heal(slot)
+
+    def _dispatch(self, msg: dict) -> None:
+        mtype = msg["type"]
+        if mtype == "ready":
+            self.bus.publish("worker_spawned", slot=msg["slot"],
+                             incarnation=msg["incarnation"],
+                             warm_s=msg.get("warm_s", 0.0))
+            if self.pool.all_ready():
+                self._ready.set()
+            return
+        if mtype == "stopped":
+            return
+        handle = self.handle(msg.get("job_id", ""))
+        if handle is None or handle.done:
+            # A stale duplicate (e.g. the dead worker finished a job we
+            # requeued, and the replacement finished it again) — the
+            # first resolution won; drop the echo.
+            if msg.get("job_id"):
+                self.pool.resolve(msg["slot"], msg["job_id"])
+            return
+        if mtype == "started":
+            handle.status = "running"
+            handle.started_at = time.monotonic()
+            if handle.admitted:
+                self.admission.started(handle.tenant)
+            self.bus.publish("started", tenant=handle.tenant,
+                             job_id=handle.job_id, slot=msg["slot"])
+            return
+        if mtype == "pong":
+            handle.payload = dict(msg)
+            self._resolve(handle, msg["slot"], "ok")
+            return
+        if mtype == "done":
+            if msg.get("kind") == "job":
+                record = msg["record"]
+                handle.record = record
+                if record.degraded:
+                    self.bus.publish("degraded", tenant=handle.tenant,
+                                     job_id=handle.job_id,
+                                     events=len(record.resilience_events))
+                self._resolve(handle, msg["slot"],
+                              "ok" if record.ok else "failed")
+            elif msg.get("kind") == "session_batch":
+                handle.payload = {k: v for k, v in msg.items()
+                                  if k not in ("type", "kind", "slot",
+                                               "job_id")}
+                if msg.get("checkpointed"):
+                    self.bus.publish("checkpointed", tenant=handle.tenant,
+                                     job_id=handle.job_id,
+                                     session=msg.get("session"),
+                                     batch=msg.get("applied_batches"))
+                self._resolve(handle, msg["slot"], "ok")
+            else:                                   # session_close
+                self._resolve(handle, msg["slot"], "ok")
+            return
+        if mtype == "error":
+            handle.error = msg.get("error", "unknown worker error")
+            self._resolve(handle, msg["slot"], "failed")
+
+    def _resolve(self, handle: JobHandle, slot: int, status: str) -> None:
+        self.pool.resolve(slot, handle.job_id)
+        handle.status = status
+        handle.done_at = time.monotonic()
+        handle._done.set()
+        if handle.admitted:
+            self.admission.release(handle.tenant, handle.cost)
+        if handle.kind != "ping":
+            self.bus.publish("done" if status == "ok" else "failed",
+                             tenant=handle.tenant, job_id=handle.job_id,
+                             slot=slot, latency_s=handle.latency_s)
+        self._gauge_depth()
+        if self.tracer is not None and handle.kind != "ping":
+            self.tracer.on_gauge("gateway.latency_s", handle.latency_s)
+
+    def _heal(self, slot: int) -> None:
+        dead = self.pool.workers[slot]
+        self.bus.publish("worker_exit", slot=slot,
+                         incarnation=dead.incarnation, node=dead.node)
+        replacement, orphans = self.pool.replace(slot)
+        self.bus.publish("worker_replaced", slot=slot,
+                         incarnation=replacement.incarnation,
+                         node=replacement.node)
+        for msg in orphans:
+            handle = self.handle(msg.get("job_id", ""))
+            if handle is None or handle.done:
+                continue
+            if msg.get("type") == "ping":
+                handle.error = "worker died before answering the ping"
+                self._resolve(handle, slot, "failed")
+                continue
+            if handle.status == "running" and handle.admitted:
+                self.admission.requeued(handle.tenant)
+            handle.status = "queued"
+            handle.retries += 1
+            self.pool.send(slot, msg)
+            self.bus.publish("retried", tenant=handle.tenant,
+                             job_id=handle.job_id, slot=slot,
+                             incarnation=replacement.incarnation)

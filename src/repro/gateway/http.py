@@ -1,0 +1,202 @@
+"""Thin stdlib HTTP/JSON front end over a :class:`Gateway`.
+
+No framework, no dependency: a ``ThreadingHTTPServer`` whose handler
+translates between the wire and the gateway's typed API.  Requests and
+responses are plain JSON; specs on the wire are exactly the
+``examples/serve_jobs.json`` / ``examples/session_stream.json``
+envelopes (:class:`~repro.serve.jobs.JobSpec`,
+:class:`~repro.sessions.spec.SessionSpec` dicts), so anything that can
+run from a job file can be POSTed to a running gateway unchanged.
+
+Routes::
+
+    GET  /healthz                     liveness + worker readiness
+    GET  /stats                       admission ledger, ring, events
+    POST /v1/jobs         {tenant, job}            -> {job_id, ...}
+    POST /v1/batch        {tenant, jobs: [...]}    -> {job_ids | jobs}
+    GET  /v1/jobs/<id>                status summary
+    GET  /v1/jobs/<id>/result         full outcome (digest, summary)
+    POST /v1/sessions/batch {tenant, session, ops} -> applied batch
+    POST /v1/sessions/close {tenant, session}      -> {ok}
+
+``?wait=1`` on the POST routes blocks until the submission resolves
+(``&timeout_s=`` bounds the wait).  Session batches default to
+``wait=1`` — a batch's reply is its result, and streaming is sequential
+by nature.
+
+Typed admission errors map onto wire status the way a load balancer
+expects: :class:`~repro.errors.QuotaExceeded` -> **429**,
+:class:`~repro.errors.Overloaded` -> **503** (both with a
+``Retry-After`` hint), malformed envelopes -> **400**, unknown ids ->
+**404**.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import Overloaded, QuotaExceeded
+from .gateway import Gateway
+
+__all__ = ["GatewayHTTPServer", "make_server", "serve_in_thread"]
+
+#: default blocking-wait budget for ``?wait=1`` requests, seconds
+DEFAULT_WAIT_S = 300.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    gateway: Gateway = None     # bound by make_server
+    verbose = False
+    server_version = "repro-gateway/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------- #
+
+    def log_message(self, fmt, *args):
+        if self.verbose:
+            super().log_message(fmt, *args)
+
+    def _json(self, code: int, obj: dict, *, retry_after: bool = False
+              ) -> None:
+        body = json.dumps(obj, default=repr).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b"{}"
+        data = json.loads(raw)
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    def _query(self) -> dict:
+        return parse_qs(urlparse(self.path).query)
+
+    def _wait_requested(self, q: dict, default: bool = False) -> bool:
+        flag = q.get("wait", ["1" if default else "0"])[0]
+        return flag not in ("", "0", "false")
+
+    def _wait_timeout(self, q: dict) -> float:
+        return float(q.get("timeout_s", [DEFAULT_WAIT_S])[0])
+
+    # -- routes ----------------------------------------------------- #
+
+    def do_GET(self):  # noqa: N802 (stdlib handler naming)
+        path = urlparse(self.path).path.rstrip("/")
+        if path == "/healthz":
+            pool = self.gateway.pool
+            alive = sum(w.alive for w in pool.workers.values()) \
+                if pool else 0
+            ok = pool is not None and alive == pool.size
+            self._json(200 if ok else 503,
+                       {"ok": ok, "workers": pool.size if pool else 0,
+                        "alive": alive})
+            return
+        if path == "/stats":
+            self._json(200, self.gateway.stats())
+            return
+        if path.startswith("/v1/jobs/"):
+            tail = path[len("/v1/jobs/"):]
+            want_result = tail.endswith("/result")
+            job_id = tail[:-len("/result")] if want_result else tail
+            handle = self.gateway.handle(job_id)
+            if handle is None:
+                self._json(404, {"error": f"unknown job {job_id!r}"})
+                return
+            if want_result and not handle.done:
+                self._json(409, {"error": f"job {job_id!r} is not done",
+                                 "status": handle.status})
+                return
+            self._json(200, handle.to_dict())
+            return
+        self._json(404, {"error": f"no route {path!r}"})
+
+    def do_POST(self):  # noqa: N802
+        path = urlparse(self.path).path.rstrip("/")
+        q = self._query()
+        try:
+            body = self._read_json()
+            if path == "/v1/jobs":
+                self._submit_jobs(body.get("tenant", ""),
+                                  [body["job"]], q, single=True)
+            elif path == "/v1/batch":
+                self._submit_jobs(body.get("tenant", ""),
+                                  list(body.get("jobs", ())), q)
+            elif path == "/v1/sessions/batch":
+                self._session_batch(body, q)
+            elif path == "/v1/sessions/close":
+                handle = self.gateway.close_session(
+                    body.get("tenant", ""), body["session"])
+                handle.wait(self._wait_timeout(q))
+                self._json(200, {"ok": handle.ok})
+            else:
+                self._json(404, {"error": f"no route {path!r}"})
+        except QuotaExceeded as exc:
+            self._json(429, {"error": str(exc), "reason": exc.reason,
+                             "tenant": exc.tenant}, retry_after=True)
+        except Overloaded as exc:
+            self._json(503, {"error": str(exc), "reason": exc.reason,
+                             "tenant": exc.tenant}, retry_after=True)
+        except TimeoutError as exc:
+            self._json(504, {"error": str(exc)})
+        except (KeyError, TypeError, ValueError,
+                json.JSONDecodeError) as exc:
+            self._json(400, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _submit_jobs(self, tenant: str, jobs: list, q: dict,
+                     *, single: bool = False) -> None:
+        handles = [self.gateway.submit(tenant, job) for job in jobs]
+        if self._wait_requested(q):
+            timeout = self._wait_timeout(q)
+            for handle in handles:
+                handle.wait(timeout)
+            payload = [h.to_dict() for h in handles]
+        else:
+            payload = [{"job_id": h.job_id, "status": h.status,
+                        "slot": h.slot} for h in handles]
+        if single:
+            self._json(202 if not handles[0].done else 200, payload[0])
+        else:
+            self._json(202 if not all(h.done for h in handles) else 200,
+                       {"tenant": tenant, "jobs": payload})
+
+    def _session_batch(self, body: dict, q: dict) -> None:
+        handle = self.gateway.session_batch(
+            body.get("tenant", ""), body["session"],
+            body.get("ops", ()))
+        if self._wait_requested(q, default=True):
+            handle.wait(self._wait_timeout(q))
+            if not handle.ok:
+                self._json(500, handle.to_dict())
+                return
+        self._json(200 if handle.done else 202, handle.to_dict())
+
+
+class GatewayHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+
+def make_server(gateway: Gateway, host: str = "127.0.0.1",
+                port: int = 0, *, verbose: bool = False
+                ) -> GatewayHTTPServer:
+    """Bind an HTTP server to ``gateway`` (``port=0`` = ephemeral)."""
+    handler = type("BoundGatewayHandler", (_Handler,),
+                   {"gateway": gateway, "verbose": verbose})
+    return GatewayHTTPServer((host, port), handler)
+
+
+def serve_in_thread(server: GatewayHTTPServer) -> threading.Thread:
+    """Run ``server`` on a daemon thread; returns the thread."""
+    thread = threading.Thread(target=server.serve_forever,
+                              name="gateway-http", daemon=True)
+    thread.start()
+    return thread

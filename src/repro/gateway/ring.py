@@ -1,0 +1,105 @@
+"""Consistent-hash sharding of sessions and jobs onto warm workers.
+
+The gateway's whole value is *stickiness*: consecutive batches of one
+incremental session must land on the warm worker that already holds its
+:class:`repro.sessions.Session` state (and whose checkpoint spool has
+its versioned history).  A consistent-hash ring gives that placement a
+shape that survives pool churn:
+
+* every worker *slot* contributes ``replicas`` virtual points to a
+  64-bit ring, hashed from the slot's stable node name (``"w3"``), not
+  from the process identity — so a crashed worker's deterministic
+  replacement (same slot, next incarnation) occupies exactly the same
+  arc and inherits its predecessor's keys;
+* a key ``(tenant, session_id)`` is hashed once and owned by the first
+  point clockwise from it; removing a node (a drained slot) moves only
+  that node's keys, never reshuffles the rest;
+* the hash is :func:`hashlib.blake2b` over the key bytes — stable
+  across processes and Python versions (``hash()`` is salted and would
+  silently break placement determinism across restarts).
+
+Builds are order-independent: the ring is a sorted list of
+``(hash, node)`` points, so the same node set always yields the same
+ring, whatever order nodes were added in — that is the "deterministic
+ring rebuild" the replacement path relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+__all__ = ["HashRing", "stable_hash", "shard_key"]
+
+
+def stable_hash(key: str) -> int:
+    """A process-stable 64-bit hash of ``key`` (blake2b, not ``hash``)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def shard_key(tenant: str, session_id: str) -> str:
+    """The canonical placement key for one tenant's session or job."""
+    return f"{tenant}/{session_id}"
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes.
+
+    ``replicas`` virtual points per node smooth the load split (with
+    one point per node, a two-node ring routinely lands 80/20).
+    """
+
+    def __init__(self, nodes=(), *, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def add(self, node: str) -> None:
+        """Add ``node``'s virtual points (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        self._points.extend(
+            (stable_hash(f"{node}#{r}"), node) for r in range(self.replicas))
+        # Sorted on (hash, node): ties — vanishingly rare but possible —
+        # break on the node name, keeping rebuilds order-independent.
+        self._points.sort()
+
+    def remove(self, node: str) -> None:
+        """Drop ``node``; only its keys move to their next-clockwise
+        owners (the consistent-hashing contract)."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    def place(self, key: str) -> str:
+        """The node owning ``key``: first ring point clockwise from it."""
+        if not self._points:
+            raise ValueError("cannot place a key on an empty ring")
+        h = stable_hash(key)
+        i = bisect_right(self._points, (h, "￿"))
+        if i == len(self._points):
+            i = 0                       # wrap past the top of the ring
+        return self._points[i][1]
+
+    def spread(self, keys) -> dict[str, int]:
+        """How many of ``keys`` each node owns (load-split diagnostic)."""
+        out = {node: 0 for node in self._nodes}
+        for key in keys:
+            out[self.place(key)] += 1
+        return out

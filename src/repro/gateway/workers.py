@@ -1,0 +1,374 @@
+"""Prespawned, persistent warm workers over stdlib queues.
+
+``repro.serve.pool`` builds a fresh ``ProcessPoolExecutor`` per batch,
+so every batch pays process startup and the first job on each worker
+pays the driver-stack import.  This module keeps a fixed set of
+**slots**, each owned by one long-lived worker process that imports the
+driver stack once during warm-up and then serves many jobs over plain
+``multiprocessing`` queues — the fork-ahead/prespawn pattern of
+production serving tiers.
+
+The protocol is deliberately dumb: dicts in, dicts out.
+
+Parent -> worker (per-slot ``inbox`` queue, FIFO — which is what makes
+session batches apply in submission order on their sticky slot):
+
+* ``{"type": "job", "job_id", "tenant", "spec", "submitted_at"}`` —
+  one :class:`~repro.serve.jobs.JobSpec` dict, executed by the *same*
+  :func:`repro.serve.pool._execute_job` body the inline ``workers=0``
+  path runs, so digests are byte-identical by construction;
+* ``{"type": "session_batch", ...}`` — one mutation batch for a warm
+  :class:`repro.sessions.Session` (opened cold on first touch, resumed
+  from the versioned checkpoint spool after a crash, and kept warm
+  in-process between batches);
+* ``{"type": "session_close"}``, ``{"type": "ping"}``,
+  ``{"type": "stop"}``.
+
+Worker -> parent (one shared ``outbox`` queue): ``ready`` (warm-up
+finished; carries how long warm-up took, which is exactly the latency a
+warm pool saves per job), ``started``, ``done``, ``error``, ``pong``,
+``stopped``.
+
+**Deterministic replacement.**  A worker is addressed by its slot's
+stable node name (``"w3"``); a crashed worker's replacement is a pure
+function of ``(slot, incarnation + 1)`` — same node name, same ring
+arc, same checkpoint spool — so placement after a replacement is
+deterministic and sticky sessions resume exactly where their
+predecessor's spool left off.
+
+**Idempotent session batches.**  Each batch carries its 1-based
+``batch_index``.  A worker that resumed from a checkpoint written
+*after* the batch applied but *before* the reply was sent answers from
+the session's recorded results instead of applying twice — that is the
+at-least-once-delivery seam the crash-requeue path relies on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as _stdlib_queue
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..core.engine import EngineCheckpoint
+from ..errors import CorruptCheckpoint
+from ..serve.checkpoint import CheckpointStore
+from ..serve.jobs import JobError, known_algorithms
+from ..serve.pool import _execute_job
+
+__all__ = ["WarmWorker", "WorkerPool", "spool_name"]
+
+
+def spool_name(tenant: str, session_id: str) -> str:
+    """The checkpoint-spool job name for one tenant's session.
+
+    Prefixed with the tenant so two tenants' identically named sessions
+    get disjoint spool histories (the cross-prune/cross-resume hazard
+    the spool tests pin down).
+    """
+    return f"{tenant}--{session_id}"
+
+
+# ------------------------------------------------------------------ #
+# Worker process body                                                 #
+# ------------------------------------------------------------------ #
+
+def _warm_up(algorithms) -> float:
+    """Import the driver stack once; returns warm-up seconds."""
+    from ..serve.jobs import get_adapter
+
+    t0 = time.monotonic()
+    for algo in algorithms:
+        get_adapter(algo)
+    return time.monotonic() - t0
+
+
+def _open_session(sessions: dict, spool, msg: dict):
+    from ..sessions import Session, SessionSpec
+
+    tenant = msg["tenant"]
+    sspec = SessionSpec.from_dict(msg["session"])
+    key = (tenant, sspec.name)
+    session = sessions.get(key)
+    if session is not None:
+        return key, session
+    checkpoint = None
+    if spool is not None:
+        try:
+            loaded = spool.load(spool_name(tenant, sspec.name))
+        except CorruptCheckpoint:
+            loaded = None       # quarantined; cold open is the fallback
+        if isinstance(loaded, EngineCheckpoint):
+            checkpoint = loaded
+    session = Session.open(sspec, checkpoint=checkpoint)
+    sessions[key] = session
+    return key, session
+
+
+def _apply_session_batch(sessions: dict, spool, msg: dict) -> dict:
+    tenant = msg["tenant"]
+    index = int(msg["batch_index"])
+    key, session = _open_session(sessions, spool, msg)
+    if index <= session.applied_batches:
+        # Already durable (we are a replacement worker re-serving a
+        # requeued batch its predecessor applied before dying).
+        result = session.results[index - 1]
+        replayed = True
+    elif index == session.applied_batches + 1:
+        result = session.apply_batch(msg["ops"])
+        replayed = False
+        if spool is not None:
+            spool.save(spool_name(tenant, key[1]), session.checkpoint(),
+                       version=session.applied_batches)
+    else:
+        raise JobError(
+            f"session {key[1]!r} expected batch "
+            f"{session.applied_batches + 1}, got {index} (gap in the "
+            f"stream — batches must arrive in order)")
+    return {"tenant": tenant, "session": key[1],
+            "applied_batches": session.applied_batches,
+            "checkpointed": spool is not None and not replayed,
+            "replayed": replayed, "result": result.to_dict()}
+
+
+def _worker_main(slot: int, incarnation: int, inbox, outbox,
+                 checkpoint_dir: str | None, warm_algorithms) -> None:
+    """The long-lived worker loop (module-level so ``spawn`` pickles it)."""
+    warm_s = _warm_up(warm_algorithms)
+    outbox.put({"type": "ready", "slot": slot, "incarnation": incarnation,
+                "pid": os.getpid(), "warm_s": warm_s})
+    sessions: dict = {}
+    spool = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    served = 0
+    while True:
+        msg = inbox.get()
+        mtype = msg.get("type")
+        if mtype == "stop":
+            outbox.put({"type": "stopped", "slot": slot,
+                        "incarnation": incarnation, "served": served})
+            return
+        job_id = msg.get("job_id")
+        if mtype == "ping":
+            outbox.put({"type": "pong", "slot": slot, "job_id": job_id,
+                        "incarnation": incarnation, "pid": os.getpid(),
+                        "served": served,
+                        "sessions": sorted(f"{t}/{s}"
+                                           for t, s in sessions)})
+            continue
+        outbox.put({"type": "started", "slot": slot, "job_id": job_id})
+        try:
+            if mtype == "job":
+                # Per-tenant spool subdirectory: two tenants running
+                # identically named jobs must never share (or
+                # cross-resume) a checkpoint slot.
+                job_spool = (os.path.join(checkpoint_dir, msg["tenant"])
+                             if checkpoint_dir else None)
+                record = _execute_job(msg["spec"], job_spool,
+                                      msg["submitted_at"])
+                served += 1
+                outbox.put({"type": "done", "kind": "job", "slot": slot,
+                            "job_id": job_id, "record": record})
+            elif mtype == "session_batch":
+                reply = _apply_session_batch(sessions, spool, msg)
+                served += 1
+                outbox.put({"type": "done", "kind": "session_batch",
+                            "slot": slot, "job_id": job_id, **reply})
+            elif mtype == "session_close":
+                key = (msg["tenant"], msg["session"])
+                sessions.pop(key, None)
+                if spool is not None:
+                    spool.clear(spool_name(*key))
+                outbox.put({"type": "done", "kind": "session_close",
+                            "slot": slot, "job_id": job_id})
+            else:
+                outbox.put({"type": "error", "slot": slot, "job_id": job_id,
+                            "error": f"unknown message type {mtype!r}"})
+        except Exception as exc:    # process boundary: report, keep serving
+            outbox.put({"type": "error", "slot": slot, "job_id": job_id,
+                        "error": f"{type(exc).__name__}: {exc}"})
+
+
+# ------------------------------------------------------------------ #
+# Parent-side pool                                                    #
+# ------------------------------------------------------------------ #
+
+@dataclass
+class WarmWorker:
+    """The parent's handle on one slot's live worker process."""
+
+    slot: int
+    incarnation: int
+    process: mp.process.BaseProcess
+    inbox: object
+    #: sent-but-unresolved messages in send order — exactly what a
+    #: replacement worker must be re-sent after a crash
+    outstanding: OrderedDict = field(default_factory=OrderedDict)
+    ready: bool = False
+    stopping: bool = False
+    warm_s: float = 0.0
+
+    @property
+    def node(self) -> str:
+        """The stable ring identity (survives replacement)."""
+        return f"w{self.slot}"
+
+    @property
+    def name(self) -> str:
+        return f"w{self.slot}#{self.incarnation}"
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class WorkerPool:
+    """A fixed set of slots, each backed by one warm worker process.
+
+    The pool only moves messages and processes; *policy* (placement,
+    admission, retry bookkeeping) lives in
+    :class:`repro.gateway.gateway.Gateway`.  Queues are unbounded here
+    because admission control bounds what may enter them.
+    """
+
+    def __init__(self, size: int = 2, *, checkpoint_dir: str | None = None,
+                 warm_algorithms=None, start_method: str | None = None
+                 ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.ctx = mp.get_context(start_method)
+        self.checkpoint_dir = checkpoint_dir
+        self.warm_algorithms = tuple(warm_algorithms
+                                     if warm_algorithms is not None
+                                     else known_algorithms())
+        self.outbox = self.ctx.Queue()
+        self.workers: dict[int, WarmWorker] = {}
+        for slot in range(size):
+            self.workers[slot] = self._spawn(slot, 1)
+
+    # -- lifecycle -------------------------------------------------- #
+
+    def _spawn(self, slot: int, incarnation: int) -> WarmWorker:
+        inbox = self.ctx.Queue()
+        process = self.ctx.Process(
+            target=_worker_main, name=f"gateway-w{slot}#{incarnation}",
+            args=(slot, incarnation, inbox, self.outbox,
+                  self.checkpoint_dir, self.warm_algorithms),
+            daemon=True)
+        process.start()
+        return WarmWorker(slot=slot, incarnation=incarnation,
+                          process=process, inbox=inbox)
+
+    def replace(self, slot: int) -> tuple[WarmWorker, list[dict]]:
+        """Replace a dead slot deterministically.
+
+        The replacement is a pure function of ``(slot, incarnation+1)``
+        — same node name, same spool — and the dead worker's
+        outstanding messages are returned *in send order* for the
+        caller to requeue (the caller owns retry policy).
+        """
+        dead = self.workers[slot]
+        orphans = list(dead.outstanding.values())
+        replacement = self._spawn(slot, dead.incarnation + 1)
+        self.workers[slot] = replacement
+        return replacement, orphans
+
+    def kill(self, slot: int) -> None:
+        """Hard-kill one worker (chaos testing; SIGKILL, no cleanup)."""
+        self.workers[slot].process.kill()
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Stop every worker after its queue empties; join processes.
+
+        Callers should wait for outstanding work to settle first (the
+        gateway does); any message still queued behind the ``stop``
+        sentinel is never read.
+        """
+        for worker in self.workers.values():
+            worker.stopping = True
+            worker.inbox.put({"type": "stop"})
+        deadline = time.monotonic() + timeout
+        for worker in self.workers.values():
+            worker.process.join(timeout=max(0.0,
+                                            deadline - time.monotonic()))
+
+    def stop(self) -> None:
+        """Terminate everything now (no drain)."""
+        for worker in self.workers.values():
+            worker.stopping = True
+            if worker.process.is_alive():
+                worker.process.terminate()
+        for worker in self.workers.values():
+            worker.process.join(timeout=5.0)
+
+    # -- messaging -------------------------------------------------- #
+
+    def send(self, slot: int, msg: dict) -> None:
+        """Enqueue ``msg`` on ``slot``'s inbox, tracking it until
+        resolved (``job_id``-carrying messages only)."""
+        worker = self.workers[slot]
+        job_id = msg.get("job_id")
+        if job_id is not None and msg.get("type") != "ping":
+            worker.outstanding[job_id] = msg
+        worker.inbox.put(msg)
+
+    def resolve(self, slot: int, job_id: str) -> None:
+        """Mark ``job_id`` finished on ``slot`` (done/error received)."""
+        worker = self.workers.get(slot)
+        if worker is not None:
+            worker.outstanding.pop(job_id, None)
+
+    def poll(self, timeout: float = 0.05) -> dict | None:
+        """Next worker message, or ``None`` on timeout.  Pool-level
+        state transitions (ready/stopped) are applied before returning."""
+        try:
+            msg = self.outbox.get(timeout=timeout)
+        except _stdlib_queue.Empty:
+            return None
+        worker = self.workers.get(msg.get("slot", -1))
+        if worker is not None and \
+                worker.incarnation == msg.get("incarnation",
+                                              worker.incarnation):
+            if msg["type"] == "ready":
+                worker.ready = True
+                worker.warm_s = float(msg.get("warm_s", 0.0))
+            elif msg["type"] == "stopped":
+                worker.stopping = True
+        return msg
+
+    # -- health ----------------------------------------------------- #
+
+    @property
+    def size(self) -> int:
+        return len(self.workers)
+
+    def nodes(self) -> list[str]:
+        """Stable ring node names, one per slot."""
+        return [w.node for w in self.workers.values()]
+
+    def slot_of(self, node: str) -> int:
+        return int(node[1:])
+
+    def all_ready(self) -> bool:
+        return all(w.ready for w in self.workers.values())
+
+    def wait_ready(self, timeout: float = 60.0) -> None:
+        """Standalone pools only: consume the outbox until every worker
+        reports ready.  (Under a gateway the collector thread owns the
+        outbox and flips readiness itself.)"""
+        deadline = time.monotonic() + timeout
+        while not self.all_ready():
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"workers not ready after {timeout}s: "
+                    f"{[w.name for w in self.workers.values() if not w.ready]}")
+            self.poll(timeout=0.1)
+
+    def dead_slots(self) -> list[int]:
+        """Slots whose worker died without being asked to stop."""
+        return [slot for slot, w in self.workers.items()
+                if not w.stopping and not w.process.is_alive()]
+
+    def outstanding_total(self) -> int:
+        return sum(len(w.outstanding) for w in self.workers.values())

@@ -84,10 +84,14 @@ def write_bench(path: str | Path, figure: str, runs: list[dict], *,
     added after them, so the file accumulates a history across commits.
 
     With ``dedupe=True`` (append mode only), prior rows that share a
-    ``(scale, seed)`` key with any new row are dropped first: re-running
-    the suite at an already-recorded configuration *replaces* that
-    configuration's batch instead of appending duplicate rows forever —
-    the trajectory stays one batch per measured configuration.
+    ``(scale, seed, config)`` key with any new row are dropped first:
+    re-running the suite at an already-recorded configuration *replaces*
+    that configuration's batch instead of appending duplicate rows
+    forever — the trajectory stays one batch per measured configuration.
+    ``config`` participates so that several bench scripts can append
+    distinct row families to one figure file (e.g. ``BENCH_serve.json``
+    carries ``pool``/``streams`` rows from the throughput bench and
+    ``gateway`` rows from the load bench) without clobbering each other.
     """
     path = Path(path)
     existing: list[dict] = []
@@ -99,9 +103,10 @@ def write_bench(path: str | Path, figure: str, runs: list[dict], *,
         except (json.JSONDecodeError, AttributeError):
             existing = []
     if dedupe and existing:
-        new_keys = {(r.get("scale"), r.get("seed")) for r in runs}
-        existing = [r for r in existing
-                    if (r.get("scale"), r.get("seed")) not in new_keys]
+        def key(r: dict) -> tuple:
+            return (r.get("scale"), r.get("seed"), r.get("config"))
+        new_keys = {key(r) for r in runs}
+        existing = [r for r in existing if key(r) not in new_keys]
     doc = {"schema": BENCH_SCHEMA, "figure": figure,
            "runs": existing + list(runs)}
     path.write_text(json.dumps(doc, indent=1) + "\n")

@@ -127,8 +127,18 @@ class Scheduler:
     #: ``on_batch(report)`` once the batch settles — the hook point the
     #: scenario record/replay harness captures golden outcomes through
     recorder: object | None = None
+    #: optional injected executor (anything with ``submit``) reused
+    #: across batches instead of a fresh process pool per batch
+    executor: object | None = None
     #: most recent batch, for callers that want to poke at records
     last_report: BatchReport | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        # Fail at construction, not at the first batch: a typo'd policy
+        # should never get as far as accepting work.
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; known: {POLICIES}")
 
     def _tune_cache(self):
         if self.tune_cache is None or not isinstance(self.tune_cache,
@@ -157,7 +167,8 @@ class Scheduler:
             self.tracer.on_gauge("serve.queue_depth", len(ordered))
         t0 = time.monotonic()
         records = submit_batch(ordered, workers=self.workers,
-                               checkpoint_dir=self.checkpoint_dir)
+                               checkpoint_dir=self.checkpoint_dir,
+                               executor=self.executor)
         wall_s = time.monotonic() - t0
         report = BatchReport(records=records, policy=self.policy,
                              workers=self.workers, wall_s=wall_s)

@@ -45,6 +45,11 @@ def pytest_addoption(parser):
         help="run only the incremental-session tests: the repro.sessions "
              "differential gate (delta recompute byte-identical to cold "
              "full recompute), resume, serve-path, and cost-ratio checks")
+    parser.addoption(
+        "--gateway", action="store_true", default=False,
+        help="run only the gateway tests that spawn warm worker "
+             "processes: end-to-end digest identity over HTTP, sticky "
+             "session placement, and kill-a-worker chaos healing")
 
 
 def _select_marked(config, items, marker: str):
@@ -73,12 +78,21 @@ def pytest_collection_modifyitems(config, items):
     if config.getoption("--sessions"):
         _select_marked(config, items, "session")
         return
+    if config.getoption("--gateway"):
+        _select_marked(config, items, "gateway")
+        return
     # Chaos tests are opt-in: they deliberately fail the virtual device,
-    # so the default (tier-1) run skips them.
+    # so the default (tier-1) run skips them.  Gateway process tests are
+    # opt-in too: they prespawn worker pools per fixture, which the
+    # default run should not pay for.
     skip = pytest.mark.skip(reason="chaos tests run only with --chaos")
+    skip_gw = pytest.mark.skip(
+        reason="gateway worker-pool tests run only with --gateway")
     for it in items:
         if it.get_closest_marker("chaos") is not None:
             it.add_marker(skip)
+        if it.get_closest_marker("gateway") is not None:
+            it.add_marker(skip_gw)
 
 
 def pytest_configure(config):
@@ -102,6 +116,10 @@ def pytest_configure(config):
         "markers",
         "session: incremental-session differential test (repro.sessions); "
         "selectable alone via --sessions")
+    config.addinivalue_line(
+        "markers",
+        "gateway: warm-worker-pool gateway test (repro.gateway); "
+        "opt-in via --gateway")
 
 
 @pytest.fixture(autouse=True)

@@ -59,8 +59,9 @@ class TestUncachedCounter:
 
 
 class TestBenchAppendDedupe:
-    """Appending a trajectory must replace same-(scale, seed) batches,
-    not duplicate them (the BENCH files grew rows forever before)."""
+    """Appending a trajectory must replace same-(scale, seed, config)
+    batches, not duplicate them (the BENCH files grew rows forever
+    before; and distinct config families share one figure file)."""
 
     def _write(self, path, rows, **kw):
         from repro.obs import write_bench
@@ -95,6 +96,19 @@ class TestBenchAppendDedupe:
                     dedupe=True)
         assert self._runs(path) == [{"scale": 10, "seed": 1, "v": 1},
                                     {"scale": 10, "seed": 2, "v": 9}]
+
+    def test_config_participates_in_the_key(self, tmp_path):
+        """Two bench scripts appending distinct ``config`` families to
+        one figure file must not clobber each other's rows."""
+        path = tmp_path / "BENCH_figX.json"
+        self._write(path, [{"scale": 1, "config": "pool", "v": 1}])
+        self._write(path, [{"scale": 1, "config": "gateway", "v": 2}],
+                    append=True, dedupe=True)
+        self._write(path, [{"scale": 1, "config": "gateway", "v": 3}],
+                    append=True, dedupe=True)
+        assert self._runs(path) == [
+            {"scale": 1, "config": "pool", "v": 1},
+            {"scale": 1, "config": "gateway", "v": 3}]
 
     def test_append_without_dedupe_still_accumulates(self, tmp_path):
         path = tmp_path / "BENCH_figX.json"

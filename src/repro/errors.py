@@ -19,9 +19,13 @@ The tree::
     │   └── KernelAborted            transient launch failure (retryable)
     ├── EngineStalled                no progress after the escalation ladder
     ├── MaxRoundsExceeded            a round/phase budget ran out
-    ├── ArtifactError                a persisted artifact failed to load
+    ├── ArtifactError                a persisted artifact failed to load/store
     │   ├── CorruptCheckpoint        unreadable serve checkpoint file
-    │   └── CorruptScenario          unreadable/ill-schemed scenario file
+    │   ├── CorruptScenario          unreadable/ill-schemed scenario file
+    │   ├── CorruptJournal           unreadable gateway WAL record mid-file
+    │   └── StorageFault             a durable write failed at a fault site
+    │       ├── DiskFull             out of space (the modeled ENOSPC)
+    │       └── TornWrite            write cut mid-stream (torn sector)
     ├── AdmissionRejected            the serving tier refused a submission
     │   ├── QuotaExceeded            a per-tenant quota would be breached
     │   └── Overloaded               global backpressure (queue full/draining)
@@ -43,7 +47,9 @@ __all__ = [
     "ReproError", "DeviceFault", "OutOfDeviceMemory", "ChunkPoolExhausted",
     "RecyclePoolExhausted", "KernelAborted", "EngineStalled",
     "MaxRoundsExceeded", "ArtifactError", "CorruptCheckpoint",
-    "CorruptScenario", "AdmissionRejected", "QuotaExceeded", "Overloaded",
+    "CorruptScenario", "CorruptJournal", "StorageFault", "DiskFull",
+    "TornWrite",
+    "AdmissionRejected", "QuotaExceeded", "Overloaded",
     "CavityError", "WalkStuck", "CavityOversized",
     "NotStarShaped", "PointEscaped", "CavitySlotsExhausted",
 ]
@@ -165,6 +171,46 @@ class CorruptCheckpoint(ArtifactError):
 
 class CorruptScenario(ArtifactError):
     """A scenario file is unreadable, ill-formed, or wrongly schemed."""
+
+
+class CorruptJournal(ArtifactError):
+    """A gateway write-ahead-journal record failed its checksum or parse
+    *before* the final record.  (A torn **tail** is the expected shape of
+    a crash mid-append and is tolerated by replay; corruption anywhere
+    else means the file was damaged after it was written and recovery
+    must not guess.)  ``line`` is the 1-based offending line number."""
+
+    def __init__(self, message: str, *, path=None, line: int = 0) -> None:
+        super().__init__(message, path=path)
+        self.line = line
+
+
+class StorageFault(ArtifactError):
+    """A durable write failed at a modeled disk-fault site.
+
+    Base of :class:`DiskFull` and :class:`TornWrite`; carries the
+    target ``path`` and the ``operation`` that was cut short
+    (``"write"``, ``"replace"``, ``"fsync"``, ``"append"``) so callers
+    and logs can tell *where* in the temp-write/fsync/rename protocol
+    the disk gave out.
+    """
+
+    def __init__(self, message: str, *, path=None,
+                 operation: str = "write") -> None:
+        super().__init__(message, path=path)
+        self.operation = operation
+
+
+class DiskFull(StorageFault):
+    """A durable write ran out of space (the modeled ENOSPC): a partial
+    temp file may remain, but the published artifact is untouched."""
+
+
+class TornWrite(StorageFault):
+    """A durable write was cut mid-stream (the modeled crash/power-loss
+    torn sector): only the temp file carries torn bytes under the
+    fsync-before-rename protocol; a writer that skipped fsync can be
+    left with torn bytes at the *published* path."""
 
 
 # ------------------------------------------------------------------ #

@@ -10,16 +10,26 @@ per-tenant quotas and typed backpressure
 (:mod:`repro.gateway.events`), and a stdlib HTTP/JSON API
 (:mod:`repro.gateway.http`, ``python -m repro.gateway serve``).
 
+Durability rides underneath: with a ``journal_dir`` configured, every
+submission is written ahead to an fsync'd, checksummed journal
+(:mod:`repro.gateway.journal`), and a restarted gateway replays it
+(:mod:`repro.gateway.recovery`) — requeueing every non-completed job in
+admission order and answering repeated ``Idempotency-Key`` submissions
+from the recorded results.  See ``docs/DURABILITY.md``.
+
 The whole tier preserves the serving stack's core invariant: anything
 served through the gateway — plain jobs and incremental session batches
-alike, including work re-served by a crashed worker's replacement — is
-byte-identical to the inline ``workers=0`` path.
+alike, including work re-served by a crashed worker's replacement or
+requeued by crash-restart recovery — is byte-identical to the inline
+``workers=0`` path.
 """
 
 from .admission import AdmissionController, TenantQuota
 from .events import EVENTS, EventBus, wire_gauges
 from .gateway import Gateway, GatewayConfig, JobHandle
 from .http import make_server, serve_in_thread
+from .journal import JOURNAL_SCHEMA, Journal, JournalReplay, read_journal
+from .recovery import RecoveredState, recover_state
 from .ring import HashRing, shard_key, stable_hash
 from .workers import WarmWorker, WorkerPool, spool_name
 
@@ -34,6 +44,12 @@ __all__ = [
     "JobHandle",
     "make_server",
     "serve_in_thread",
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "JournalReplay",
+    "read_journal",
+    "RecoveredState",
+    "recover_state",
     "HashRing",
     "shard_key",
     "stable_hash",

@@ -152,6 +152,17 @@ class AdmissionController:
                 f"({ledger.cost:.1f} + {cost:.1f} > {quota.cost_budget:.1f})",
                 tenant=tenant, reason="cost_budget")
 
+    def readmit(self, tenant: str, cost: float = 0.0) -> None:
+        """Re-reserve capacity for a journal-recovered job, bypassing
+        the quota checks: the job passed them before the crash, and
+        recovery replaying the backlog must never be the thing a quota
+        rejects (that would turn a restart into silent work loss)."""
+        with self._lock:
+            ledger = self._ledgers.setdefault(tenant, _Ledger())
+            ledger.queued += 1
+            ledger.cost += float(cost)
+            ledger.admitted += 1
+
     def started(self, tenant: str) -> None:
         """A reserved job began executing (queued -> running)."""
         with self._lock:

@@ -14,6 +14,10 @@ Events carried (``event`` field):
 ``submitted``             job/session-batch admitted and enqueued
 ``started``               a warm worker began executing it
 ``retried``               requeued after its worker died mid-flight
+``recovered``             journal replayed after a restart (requeue
+                          counts ride in the event facts)
+``replayed``              an ``Idempotency-Key`` repeat was answered
+                          from the recorded outcome (nothing executed)
 ``degraded``              finished, but resilience absorbed faults
 ``checkpointed``          a durable checkpoint was spooled for it
 ``done`` / ``failed``     terminal outcomes
@@ -37,8 +41,8 @@ from collections import Counter, deque
 __all__ = ["EVENTS", "EventBus", "wire_gauges"]
 
 EVENTS = ("submitted", "started", "retried", "degraded", "checkpointed",
-          "done", "failed", "rejected", "worker_spawned", "worker_exit",
-          "worker_replaced", "drained")
+          "done", "failed", "rejected", "recovered", "replayed",
+          "worker_spawned", "worker_exit", "worker_replaced", "drained")
 
 
 class EventBus:

@@ -18,7 +18,16 @@ service front end:
   incarnation) and every unresolved message is requeued in its
   original send order — plain jobs re-execute (deterministic by
   construction), session batches resume from the versioned checkpoint
-  spool and answer idempotently.
+  spool and answer idempotently;
+* with a ``journal_dir`` configured, every submission is written ahead
+  to the :class:`~repro.gateway.journal.Journal` (admit, dispatch,
+  checkpoint, done), so death of the *gateway process itself* is
+  survivable: :meth:`Gateway.start` replays the journal through
+  :func:`~repro.gateway.recovery.recover_state`, rebuilds the
+  admission ledger and session table, requeues every non-completed
+  submission in admission order, and answers repeated
+  ``Idempotency-Key`` submissions from the recorded results instead of
+  re-executing.
 
 Digest identity is the invariant everything above preserves: a job
 served through the gateway runs the *same* ``_execute_job`` body as the
@@ -34,14 +43,18 @@ import itertools
 import tempfile
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..errors import Overloaded
+from ..errors import Overloaded, StorageFault
+from ..serve.faults import DiskFaultPlan, FaultInjected
 from ..serve.jobs import JobSpec, estimate_cost
 from ..sessions.spec import SessionSpec
 from .admission import AdmissionController, TenantQuota
 from .events import EventBus, wire_gauges
+from .journal import Journal
+from .recovery import RecoveredState, recover_state
 from .ring import HashRing, shard_key
 from .workers import WorkerPool
 
@@ -59,6 +72,18 @@ class GatewayConfig:
     default_quota: TenantQuota | None = None
     checkpoint_dir: str | None = None
     start_method: str | None = None
+    #: write-ahead journal directory (None = no durability; the
+    #: gateway then neither survives restarts nor answers
+    #: ``Idempotency-Key`` repeats across them)
+    journal_dir: str | None = None
+    #: deterministic disk weather for the journal's appends
+    #: (a :class:`~repro.serve.faults.DiskFaultPlan` dict)
+    journal_fault: dict | None = None
+    #: resolved handles retained for idempotency/result lookups; the
+    #: oldest are evicted beyond this bound (recorded ``done`` journal
+    #: records outlive the eviction — they are just no longer answered
+    #: from memory)
+    max_done_handles: int = 4096
 
     @classmethod
     def from_dict(cls, d) -> "GatewayConfig":
@@ -73,6 +98,9 @@ class GatewayConfig:
                            if default is not None else None),
             checkpoint_dir=d.get("checkpoint_dir"),
             start_method=d.get("start_method"),
+            journal_dir=d.get("journal_dir"),
+            journal_fault=d.get("journal_fault"),
+            max_done_handles=int(d.get("max_done_handles", 4096)),
         )
 
 
@@ -96,9 +124,15 @@ class JobHandle:
     #: whether this handle holds an admission reservation (pings and
     #: session closes do not; releasing one would corrupt the ledger)
     admitted: bool = True
+    #: answered from a recorded outcome (``Idempotency-Key`` repeat or
+    #: a post-recovery lookup) — nothing executed for this handle
+    replay: bool = False
     submitted_at: float = 0.0
     started_at: float | None = None
     done_at: float | None = None
+    #: the sequence number minted for this handle (None when the id was
+    #: recovered from the journal and the seq lives inside it)
+    _seq: int | None = field(default=None, repr=False)
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False)
 
@@ -139,6 +173,8 @@ class JobHandle:
              "kind": self.kind, "name": self.name, "slot": self.slot,
              "status": self.status, "retries": self.retries,
              "digest": self.digest(), "error": self.error}
+        if self.replay:
+            d["idempotent"] = True
         if self.done_at is not None:
             d["latency_s"] = self.latency_s
         record = self.record
@@ -176,6 +212,12 @@ class Gateway:
         self.ring = HashRing(replicas=config.replicas)
         self._handles: dict[str, JobHandle] = {}
         self._sessions: dict[tuple[str, str], dict] = {}
+        self.journal: Journal | None = None
+        #: job_id -> recorded ``done`` payload, oldest first (bounded
+        #: by ``config.max_done_handles``)
+        self._completed: OrderedDict[str, dict] = OrderedDict()
+        #: (tenant, idempotency key) -> job_id
+        self._idem: dict[tuple[str, str], str] = {}
         self._seq = itertools.count(1)
         self._lock = threading.Lock()
         self._ready = threading.Event()
@@ -210,7 +252,80 @@ class Gateway:
         if not self._ready.wait(timeout):
             self.stop()
             raise TimeoutError(f"workers not warm after {timeout}s")
+        if self.config.journal_dir is not None:
+            fault = (DiskFaultPlan.from_dict(self.config.journal_fault)
+                     if self.config.journal_fault else None)
+            self.journal = Journal(self.config.journal_dir,
+                                   fault_plan=fault)
+            replay = self.journal.open()
+            if replay.records:
+                self._recover(recover_state(replay.records,
+                                            torn_tail=replay.torn_tail))
         return self
+
+    def _recover(self, state: RecoveredState) -> None:
+        """Apply a :class:`~repro.gateway.recovery.RecoveredState`:
+        resume the sequence, seed the idempotency/result tables, and
+        requeue every non-completed submission in admission order.
+        Requeued work re-enters admission through
+        :meth:`~repro.gateway.admission.AdmissionController.readmit`
+        (quota checks were passed before the crash; recovery must not
+        re-judge them)."""
+        self._seq = itertools.count(state.next_seq)
+        with self._lock:
+            self._completed = OrderedDict(state.completed)
+            self._idem = dict(state.idempotency)
+            for skey, sess in state.sessions.items():
+                self._sessions[skey] = {"spec": sess["spec"],
+                                        "next_index": sess["next_index"]}
+        requeued = 0
+        for rec in state.pending_jobs:
+            cost = float(rec.get("cost", 0.0))
+            self.admission.readmit(rec["tenant"], cost)
+            slot = self.pool.slot_of(self.ring.place(shard_key(
+                rec["tenant"], rec.get("shard") or rec["name"])))
+            handle = self._register(rec["tenant"], "job", rec["name"],
+                                    slot, cost, job_id=rec["job_id"])
+            self.pool.send(slot, {
+                "type": "job", "job_id": handle.job_id,
+                "tenant": rec["tenant"], "spec": rec["spec"],
+                "submitted_at": handle.submitted_at})
+            self._journal_append({"t": "dispatch",
+                                  "job_id": handle.job_id, "slot": slot,
+                                  "recovered": True})
+            requeued += 1
+        # Open sessions replay their whole journaled batch stream:
+        # already-applied batches answer idempotently from the resumed
+        # checkpoint's recorded results, lost ones (including a newest
+        # checkpoint version that was torn and quarantined) re-apply
+        # deterministically — no gap, no double effect.
+        for skey, recs in state.session_batches.items():
+            if skey not in self._sessions:
+                continue
+            for rec in recs:
+                cost = float(rec.get("cost", 0.0))
+                self.admission.readmit(rec["tenant"], cost)
+                slot = self.pool.slot_of(
+                    self.ring.place(shard_key(*skey)))
+                handle = self._register(rec["tenant"], "session_batch",
+                                        rec["name"], slot, cost,
+                                        job_id=rec["job_id"])
+                self.pool.send(slot, {
+                    "type": "session_batch", "job_id": handle.job_id,
+                    "tenant": rec["tenant"], "session": rec["session"],
+                    "ops": rec["ops"],
+                    "batch_index": int(rec["batch_index"]),
+                    "submitted_at": handle.submitted_at})
+                self._journal_append({"t": "dispatch",
+                                      "job_id": handle.job_id,
+                                      "slot": slot, "recovered": True})
+                requeued += 1
+        self.bus.publish("recovered", records=state.records,
+                         requeued=requeued,
+                         completed=len(state.completed),
+                         sessions=len(state.sessions),
+                         torn_tail=state.torn_tail)
+        self._gauge_depth()
 
     def __enter__(self) -> "Gateway":
         return self.start()
@@ -237,6 +352,8 @@ class Gateway:
         if self.pool is not None:
             self.pool.stop()
         self._shutdown_collector()
+        if self.journal is not None:
+            self.journal.close()
         if self._tmp_spool is not None:
             self._tmp_spool.cleanup()
             self._tmp_spool = None
@@ -259,36 +376,165 @@ class Gateway:
             raise
 
     def _register(self, tenant: str, kind: str, name: str, slot: int,
-                  cost: float, *, admitted: bool = True) -> JobHandle:
-        job_id = f"{tenant}:{name}:{next(self._seq)}"
+                  cost: float, *, admitted: bool = True,
+                  job_id: str | None = None) -> JobHandle:
+        seq = None
+        if job_id is None:
+            seq = next(self._seq)
+            job_id = f"{tenant}:{name}:{seq}"
         handle = JobHandle(job_id=job_id, tenant=tenant, kind=kind,
                           name=name, slot=slot, cost=cost,
                           admitted=admitted,
                           submitted_at=time.monotonic())
+        handle._seq = seq
         with self._lock:
             self._handles[job_id] = handle
         return handle
 
+    # -- write-ahead journal --------------------------------------- #
+
+    def _journal_append(self, rec: dict, *, critical: bool = False) -> None:
+        """Append ``rec``; non-critical failures are absorbed (the
+        journal repairs itself before the next append), critical ones
+        (admit records — the durability promise itself) surface as a
+        retryable :class:`~repro.errors.Overloaded`."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(rec)
+        except (StorageFault, FaultInjected, OSError) as exc:
+            if critical:
+                raise Overloaded(
+                    f"journal append failed; submission not durable "
+                    f"({type(exc).__name__}: {exc})",
+                    tenant=rec.get("tenant", "?"),
+                    reason="journal") from exc
+        else:
+            if self.tracer is not None:
+                self.tracer.on_gauge("gateway.journal.records",
+                                     self.journal.records_written)
+                self.tracer.on_gauge("gateway.journal.bytes",
+                                     self.journal.bytes_written)
+
+    def _journal_admit(self, handle: JobHandle, *, key: str | None,
+                       **payload) -> None:
+        rec = {"t": "admit", "kind": handle.kind,
+               "job_id": handle.job_id, "tenant": handle.tenant,
+               "name": handle.name,
+               "seq": handle._seq if handle._seq is not None
+               else int(handle.job_id.rsplit(":", 1)[1]),
+               "cost": handle.cost, **payload}
+        if key is not None:
+            rec["key"] = key
+        self._journal_append(rec, critical=True)
+
+    # -- idempotency ------------------------------------------------ #
+
+    def _idempotent(self, tenant: str,
+                    key: str | None) -> JobHandle | None:
+        """The previously recorded handle for ``(tenant, key)``, live
+        or synthesized from its journaled outcome; ``None`` on a fresh
+        key."""
+        if key is None:
+            return None
+        with self._lock:
+            job_id = self._idem.get((tenant, key))
+            if job_id is None:
+                return None
+            handle = self._handles.get(job_id)
+            done = self._completed.get(job_id)
+        if handle is None and done is None:
+            return None
+        if handle is None:
+            handle = self._synthesize(done)
+        self.bus.publish("replayed", tenant=tenant, job_id=job_id,
+                         key=key, status=handle.status)
+        return handle
+
+    def _synthesize(self, done: dict) -> JobHandle:
+        """A resolved :class:`JobHandle` rebuilt from a recorded
+        ``done`` payload (journal recovery, or after eviction)."""
+        handle = JobHandle(
+            job_id=done["job_id"], tenant=done.get("tenant", "?"),
+            kind=done.get("kind", "job"), name=done.get("name", "?"),
+            slot=int(done.get("slot", -1)),
+            status=done.get("status", "ok"), admitted=False, replay=True)
+        handle.error = done.get("error")
+        handle.retries = int(done.get("retries", 0))
+        if done.get("batch") is not None:
+            handle.payload = {"result": done["batch"],
+                              "replayed": True}
+        elif done.get("digest") is not None:
+            handle.payload = {"result": {"digest": done["digest"],
+                                         "summary": done.get("summary")}}
+        handle._done.set()
+        return handle
+
+    def _record_done(self, handle: JobHandle) -> None:
+        """Journal the outcome and retain it for idempotency answers,
+        evicting the oldest resolved handles beyond the bound."""
+        done = handle.to_dict()
+        self._journal_append({"t": "done", "job_id": handle.job_id,
+                              "tenant": handle.tenant,
+                              "status": handle.status, "result": done})
+        if handle.kind == "ping":
+            return
+        with self._lock:
+            self._completed[handle.job_id] = done
+            evicted = set()
+            while len(self._completed) > self.config.max_done_handles:
+                job_id, _ = self._completed.popitem(last=False)
+                evicted.add(job_id)
+            for job_id in evicted:
+                self._handles.pop(job_id, None)
+            if evicted:
+                for k in [k for k, v in self._idem.items()
+                          if v in evicted]:
+                    del self._idem[k]
+
     def submit(self, tenant: str, spec: JobSpec | dict, *,
-               key: str | None = None) -> JobHandle:
+               key: str | None = None,
+               idempotency_key: str | None = None) -> JobHandle:
         """Admit and dispatch one job; returns immediately.
 
         ``key`` overrides the sharding key (default: the spec name), so
         related jobs can be co-located deliberately.
+
+        ``idempotency_key`` makes the submission safe to repeat: a
+        repeat (same tenant, same key — live, completed, or recovered
+        from the journal after a restart) returns the original
+        submission's handle or its recorded outcome instead of
+        executing again.
         """
         if isinstance(spec, dict):
             spec = JobSpec.from_dict(spec)
         if self.pool is None:
             raise Overloaded("gateway is not started", tenant=tenant,
                              reason="draining")
+        existing = self._idempotent(tenant, idempotency_key)
+        if existing is not None:
+            return existing
         cost = estimate_cost(spec)
         self._admit(tenant, cost, name=spec.name)
         slot = self.pool.slot_of(
             self.ring.place(shard_key(tenant, key or spec.name)))
         handle = self._register(tenant, "job", spec.name, slot, cost)
+        try:
+            self._journal_admit(handle, key=idempotency_key,
+                                spec=spec.to_dict(), shard=key)
+        except Overloaded:
+            with self._lock:
+                self._handles.pop(handle.job_id, None)
+            self.admission.release(tenant, cost)
+            raise
+        if idempotency_key is not None:
+            with self._lock:
+                self._idem[(tenant, idempotency_key)] = handle.job_id
         self.pool.send(slot, {"type": "job", "job_id": handle.job_id,
                               "tenant": tenant, "spec": spec.to_dict(),
                               "submitted_at": handle.submitted_at})
+        self._journal_append({"t": "dispatch", "job_id": handle.job_id,
+                              "slot": slot})
         self.bus.publish("submitted", tenant=tenant, job_id=handle.job_id,
                          name=spec.name, slot=slot, kind="job")
         self._gauge_depth()
@@ -300,7 +546,8 @@ class Gateway:
         return [self.submit(tenant, spec) for spec in specs]
 
     def session_batch(self, tenant: str, session: SessionSpec | dict,
-                      ops) -> JobHandle:
+                      ops, *, idempotency_key: str | None = None
+                      ) -> JobHandle:
         """Stream one mutation batch into a sticky warm session.
 
         ``session`` is the session's *identity* — its
@@ -308,6 +555,10 @@ class Gateway:
         stream (batches ride in ``ops``, one call per batch, in
         order).  The first call cold-opens the session on its ring
         slot; later calls must present the same identity.
+
+        ``idempotency_key`` works as in :meth:`submit`: repeating a
+        batch submission under the same key returns the recorded batch
+        result (and consumes no stream index) instead of re-applying.
         """
         if isinstance(session, dict):
             session = SessionSpec.from_dict(session)
@@ -319,6 +570,9 @@ class Gateway:
         if self.pool is None:
             raise Overloaded("gateway is not started", tenant=tenant,
                              reason="draining")
+        existing = self._idempotent(tenant, idempotency_key)
+        if existing is not None:
+            return existing
         base = JobSpec(name=session.name, algorithm=session.algorithm,
                        params=session.params, strategy=session.strategy,
                        seed=session.seed)
@@ -342,11 +596,28 @@ class Gateway:
             self.ring.place(shard_key(tenant, session.name)))
         handle = self._register(tenant, "session_batch", session.name,
                                 slot, cost)
+        ops = [dict(op) for op in ops]
+        try:
+            self._journal_admit(handle, key=idempotency_key,
+                                session=state["spec"], ops=ops,
+                                batch_index=index)
+        except Overloaded:
+            with self._lock:
+                self._handles.pop(handle.job_id, None)
+                if state["next_index"] == index + 1:
+                    state["next_index"] = index    # give the slot back
+            self.admission.release(tenant, cost)
+            raise
+        if idempotency_key is not None:
+            with self._lock:
+                self._idem[(tenant, idempotency_key)] = handle.job_id
         self.pool.send(slot, {
             "type": "session_batch", "job_id": handle.job_id,
             "tenant": tenant, "session": state["spec"],
-            "ops": [dict(op) for op in ops], "batch_index": index,
+            "ops": ops, "batch_index": index,
             "submitted_at": handle.submitted_at})
+        self._journal_append({"t": "dispatch", "job_id": handle.job_id,
+                              "slot": slot})
         self.bus.publish("submitted", tenant=tenant, job_id=handle.job_id,
                          name=session.name, slot=slot, kind="session_batch",
                          batch=index)
@@ -358,6 +629,8 @@ class Gateway:
         skey = (tenant, name)
         with self._lock:
             self._sessions.pop(skey, None)
+        self._journal_append({"t": "session_close", "tenant": tenant,
+                              "name": name})
         slot = self.pool.slot_of(self.ring.place(shard_key(tenant, name)))
         handle = self._register(tenant, "session_close", name, slot, 0.0,
                                 admitted=False)
@@ -372,7 +645,13 @@ class Gateway:
 
     def handle(self, job_id: str) -> JobHandle | None:
         with self._lock:
-            return self._handles.get(job_id)
+            handle = self._handles.get(job_id)
+            done = self._completed.get(job_id) if handle is None else None
+        if handle is None and done is not None:
+            # Evicted or recovered-from-journal: resurrect the recorded
+            # outcome as a resolved handle.
+            return self._synthesize(done)
+        return handle
 
     def ping(self, timeout: float = 10.0) -> dict[int, dict]:
         """Health-check every slot; returns ``slot -> pong`` facts.
@@ -406,7 +685,10 @@ class Gateway:
 
     def stats(self) -> dict:
         pool = self.pool
+        journal = (self.journal.stats() if self.journal is not None
+                   else None)
         return {
+            "journal": journal,
             "workers": {
                 "size": pool.size if pool else 0,
                 "alive": sum(w.alive for w in pool.workers.values())
@@ -485,6 +767,11 @@ class Gateway:
                                   if k not in ("type", "kind", "slot",
                                                "job_id")}
                 if msg.get("checkpointed"):
+                    self._journal_append(
+                        {"t": "checkpoint", "job_id": handle.job_id,
+                         "tenant": handle.tenant,
+                         "name": msg.get("session"),
+                         "applied": msg.get("applied_batches")})
                     self.bus.publish("checkpointed", tenant=handle.tenant,
                                      job_id=handle.job_id,
                                      session=msg.get("session"),
@@ -501,9 +788,15 @@ class Gateway:
         self.pool.resolve(slot, handle.job_id)
         handle.status = status
         handle.done_at = time.monotonic()
-        handle._done.set()
+        # WAL discipline: the outcome is journaled (and the admission
+        # reservation freed) *before* the waiter wakes — a client that
+        # observed completion must find it durable, and must find the
+        # ledger already settled.
+        if handle.kind != "ping":
+            self._record_done(handle)
         if handle.admitted:
             self.admission.release(handle.tenant, handle.cost)
+        handle._done.set()
         if handle.kind != "ping":
             self.bus.publish("done" if status == "ok" else "failed",
                              tenant=handle.tenant, job_id=handle.job_id,
@@ -533,6 +826,9 @@ class Gateway:
             handle.status = "queued"
             handle.retries += 1
             self.pool.send(slot, msg)
+            self._journal_append({"t": "dispatch",
+                                  "job_id": handle.job_id, "slot": slot,
+                                  "requeued": True})
             self.bus.publish("retried", tenant=handle.tenant,
                              job_id=handle.job_id, slot=slot,
                              incarnation=replacement.incarnation)

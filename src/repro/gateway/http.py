@@ -24,11 +24,23 @@ Routes::
 ``wait=1`` — a batch's reply is its result, and streaming is sequential
 by nature.
 
+An ``Idempotency-Key`` header on ``POST /v1/jobs`` and
+``POST /v1/sessions/batch`` makes the submission safe to repeat: the
+gateway journals the key with the admission, and a repeat — before or
+after a gateway crash-restart — returns the original recorded outcome
+(marked ``"idempotent": true``) instead of executing again.  On
+``POST /v1/batch`` the header keys the whole batch; each job gets
+``<key>/<position>``.
+
 Typed admission errors map onto wire status the way a load balancer
 expects: :class:`~repro.errors.QuotaExceeded` -> **429**,
-:class:`~repro.errors.Overloaded` -> **503** (both with a
-``Retry-After`` hint), malformed envelopes -> **400**, unknown ids ->
-**404**.
+:class:`~repro.errors.Overloaded` -> **503**, a dispatch wait that ran
+out of budget -> **504** (all three with a ``Retry-After`` hint — a 504
+is the signal to retry with the same ``Idempotency-Key``, which is
+exactly what makes the retry safe), malformed envelopes -> **400**,
+unknown ids -> **404**.  A client that disconnects mid-wait costs
+nothing: the response write is absorbed, the submission keeps running,
+and its outcome stays retrievable by job id or idempotency key.
 """
 
 from __future__ import annotations
@@ -62,13 +74,24 @@ class _Handler(BaseHTTPRequestHandler):
     def _json(self, code: int, obj: dict, *, retry_after: bool = False
               ) -> None:
         body = json.dumps(obj, default=repr).encode()
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        if retry_after:
-            self.send_header("Retry-After", "1")
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if retry_after:
+                self.send_header("Retry-After", "1")
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError, TimeoutError):
+            # The client hung up while we were answering.  The work is
+            # not abandoned — it resolves normally and stays
+            # retrievable (GET /v1/jobs/<id>, or an Idempotency-Key
+            # repeat) — but this connection is dead; don't let the
+            # handler thread die with a traceback or try to reuse it.
+            self.close_connection = True
+
+    def _idempotency_key(self) -> str | None:
+        return self.headers.get("Idempotency-Key")
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
@@ -147,14 +170,25 @@ class _Handler(BaseHTTPRequestHandler):
             self._json(503, {"error": str(exc), "reason": exc.reason,
                              "tenant": exc.tenant}, retry_after=True)
         except TimeoutError as exc:
-            self._json(504, {"error": str(exc)})
+            # The wait budget ran out, not the job: tell the client
+            # when to come back, and that retrying (same
+            # Idempotency-Key) is safe.
+            self._json(504, {"error": str(exc)}, retry_after=True)
         except (KeyError, TypeError, ValueError,
                 json.JSONDecodeError) as exc:
             self._json(400, {"error": f"{type(exc).__name__}: {exc}"})
 
     def _submit_jobs(self, tenant: str, jobs: list, q: dict,
                      *, single: bool = False) -> None:
-        handles = [self.gateway.submit(tenant, job) for job in jobs]
+        ikey = self._idempotency_key()
+        if ikey is None:
+            keys = [None] * len(jobs)
+        elif single:
+            keys = [ikey]
+        else:
+            keys = [f"{ikey}/{i}" for i in range(len(jobs))]
+        handles = [self.gateway.submit(tenant, job, idempotency_key=k)
+                   for job, k in zip(jobs, keys)]
         if self._wait_requested(q):
             timeout = self._wait_timeout(q)
             for handle in handles:
@@ -172,7 +206,8 @@ class _Handler(BaseHTTPRequestHandler):
     def _session_batch(self, body: dict, q: dict) -> None:
         handle = self.gateway.session_batch(
             body.get("tenant", ""), body["session"],
-            body.get("ops", ()))
+            body.get("ops", ()),
+            idempotency_key=self._idempotency_key())
         if self._wait_requested(q, default=True):
             handle.wait(self._wait_timeout(q))
             if not handle.ok:

@@ -96,12 +96,20 @@ def _open_session(sessions: dict, spool, msg: dict):
         return key, session
     checkpoint = None
     if spool is not None:
-        try:
-            loaded = spool.load(spool_name(tenant, sspec.name))
-        except CorruptCheckpoint:
-            loaded = None       # quarantined; cold open is the fallback
-        if isinstance(loaded, EngineCheckpoint):
-            checkpoint = loaded
+        # Each CorruptCheckpoint quarantines the offending version
+        # (renamed out of the ``*.ckpt`` glob), so retrying falls back
+        # version-by-version through the keep-latest history before
+        # settling on a cold open.  Bounded: every iteration removes a
+        # file, so this cannot spin.
+        name = spool_name(tenant, sspec.name)
+        for _ in range(1 + spool.keep_latest):
+            try:
+                loaded = spool.load(name)
+            except CorruptCheckpoint:
+                continue        # quarantined; try the next-older version
+            if isinstance(loaded, EngineCheckpoint):
+                checkpoint = loaded
+            break
     session = Session.open(sspec, checkpoint=checkpoint)
     sessions[key] = session
     return key, session

@@ -24,7 +24,6 @@ guess).
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping
@@ -33,6 +32,7 @@ import numpy as np
 
 from ..errors import CorruptScenario
 from ..serve.jobs import JobSpec
+from ..storage import atomic_write_bytes, quarantine
 
 __all__ = ["SCENARIO_SCHEMA", "GoldenJob", "Scenario", "canonical_bytes",
            "save_scenario", "load_scenario", "golden_from_record",
@@ -174,13 +174,9 @@ def canonical_bytes(scenario: Scenario) -> bytes:
 
 
 def save_scenario(path: str | Path, scenario: Scenario) -> Path:
-    """Atomically write ``scenario`` at ``path`` (temp + ``os.replace``)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(canonical_bytes(scenario))
-    os.replace(tmp, path)
-    return path
+    """Atomically and durably write ``scenario`` at ``path`` (the
+    shared :func:`repro.storage.atomic_write_bytes` protocol)."""
+    return atomic_write_bytes(path, canonical_bytes(scenario))
 
 
 def load_scenario(path: str | Path) -> Scenario:
@@ -193,12 +189,7 @@ def load_scenario(path: str | Path) -> Scenario:
         raise
     except (json.JSONDecodeError, ValueError, KeyError, TypeError,
             OSError) as exc:
-        quarantined = path.with_name(path.name + ".corrupt")
-        try:
-            os.replace(path, quarantined)
-        except OSError:
-            path.unlink(missing_ok=True)
-            quarantined = None
+        quarantined = quarantine(path)
         raise CorruptScenario(
             f"scenario file {path} is corrupt ({type(exc).__name__}: "
             f"{exc}); quarantined to {quarantined}", path=path,

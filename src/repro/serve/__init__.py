@@ -27,8 +27,10 @@ Run a batch from the shell::
 """
 
 from .checkpoint import CheckpointStore, dumps_state, loads_state
-from .faults import (FaultInjected, FaultInjector, FaultPlan, activate,
-                     current_injector, maybe_activate)
+from .faults import (DISK_KINDS, DiskFaultInjector, DiskFaultPlan,
+                     DiskFaultRule, FaultInjected, FaultInjector, FaultPlan,
+                     activate, activate_disk, current_disk_injector,
+                     current_injector, maybe_activate, maybe_activate_disk)
 from .jobs import (JobContext, JobError, JobResult, JobSpec, digest_arrays,
                    estimate_cost, get_adapter, known_algorithms)
 from .mutations import (OPS_BY_ALGORITHM, GraphMutationEffect,
@@ -42,6 +44,8 @@ __all__ = [
     "CheckpointStore", "dumps_state", "loads_state",
     "FaultInjected", "FaultInjector", "FaultPlan", "activate",
     "current_injector", "maybe_activate",
+    "DISK_KINDS", "DiskFaultInjector", "DiskFaultPlan", "DiskFaultRule",
+    "activate_disk", "current_disk_injector", "maybe_activate_disk",
     "JobContext", "JobError", "JobResult", "JobSpec", "digest_arrays",
     "estimate_cost", "get_adapter", "known_algorithms",
     "OPS_BY_ALGORITHM", "GraphMutationEffect", "check_mutations",

@@ -14,9 +14,13 @@ crashes:
   directory: one atomically replaced slot per job, plus an optional
   versioned history (used by :mod:`repro.sessions` batch streams)
   pruned to keep-latest-N so long-lived sessions never leak spool
-  disk.  Every write is atomic (temp file + ``os.replace``) so a
-  worker killed mid-write can never leave a truncated checkpoint where
-  the next attempt would trip over it.  A corrupt or unreadable file is
+  disk.  Every write goes through :func:`repro.storage
+  .atomic_write_bytes` — temp file, fsync, ``os.replace``, directory
+  fsync — so a worker killed mid-write (or a power loss) can never
+  leave a truncated checkpoint where the next attempt would trip over
+  it, and every save is a deterministic disk-fault site for the
+  :mod:`repro.serve.faults` ``torn_write``/``enospc`` injection the
+  durability property suite drives.  A corrupt or unreadable file is
   *quarantined* on load — renamed to ``<name>.ckpt.corrupt`` so the
   evidence survives, mirroring :class:`repro.tune.TuningCache` — and the
   typed :class:`repro.errors.CorruptCheckpoint` is raised so the caller
@@ -26,11 +30,11 @@ crashes:
 
 from __future__ import annotations
 
-import os
 import pickle
 from pathlib import Path
 
 from ..errors import CorruptCheckpoint
+from ..storage import atomic_write_bytes, quarantine
 
 __all__ = ["CheckpointStore", "dumps_state", "loads_state"]
 
@@ -94,9 +98,7 @@ class CheckpointStore:
         history and older versions beyond ``keep_latest`` are pruned.
         """
         path = self.path(job_name, version)
-        tmp = path.with_suffix(".ckpt.tmp")
-        tmp.write_bytes(dumps_state(state))
-        os.replace(tmp, path)
+        atomic_write_bytes(path, dumps_state(state))
         if version is not None:
             self.prune(job_name)
         return path
@@ -132,14 +134,7 @@ class CheckpointStore:
             return loads_state(path.read_bytes())
         except (pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError, OSError) as exc:
-            quarantined = path.with_suffix(".ckpt.corrupt")
-            try:
-                os.replace(path, quarantined)
-            except OSError:
-                # Unreadable *and* unmovable: drop it so the slot stays
-                # usable (the tuning cache's last resort).
-                path.unlink(missing_ok=True)
-                quarantined = None
+            quarantined = quarantine(path)
             raise CorruptCheckpoint(
                 f"checkpoint for job {job_name!r} is corrupt "
                 f"({type(exc).__name__}: {exc}); quarantined to "

@@ -44,7 +44,8 @@ from ..core.engine import EngineCheckpoint
 from ..errors import CorruptCheckpoint
 from ..resilience import Resilience
 from .checkpoint import CheckpointStore
-from .faults import FaultInjected, FaultInjector, maybe_activate
+from .faults import (FaultInjected, FaultInjector, maybe_activate,
+                     maybe_activate_disk)
 from .jobs import (JobContext, JobError, JobResult, JobSpec, digest_arrays,
                    get_adapter)
 
@@ -115,6 +116,11 @@ def _execute_job(spec_dict: dict, checkpoint_dir: str | None,
         device_cm = (device_plan.injector().activate()
                      if device_plan is not None and resil is None
                      else nullcontext())
+        # Disk-fault plans target the attempt's durable writes (the
+        # checkpoint spool): every atomic_write consults this injector.
+        disk_plan = (spec.fault.disk_plan(attempt)
+                     if spec.fault is not None else None)
+        disk_injector = disk_plan.injector() if disk_plan is not None else None
         deadline = (time.monotonic() + spec.timeout_s
                     if spec.timeout_s is not None else None)
 
@@ -146,7 +152,8 @@ def _execute_job(spec_dict: dict, checkpoint_dir: str | None,
             resilience=resil,
         )
         try:
-            with maybe_activate(injector), device_cm:
+            with maybe_activate(injector), device_cm, \
+                    maybe_activate_disk(disk_injector):
                 if injector is not None:
                     injector.on_job_start()
                 if deadline is not None and time.monotonic() > deadline:

@@ -9,8 +9,9 @@ keys the *prices*, so a cache survives a cost-model change by missing —
 never by replaying tunings ranked under different rules.
 
 Durability follows :class:`repro.serve.checkpoint.CheckpointStore`:
-writes go to a temp file and land with ``os.replace``, so a process
-killed mid-write can never leave a truncated cache.  Unlike checkpoints
+writes go through :func:`repro.storage.atomic_write_json` (temp file,
+fsync, ``os.replace``, directory fsync), so a process killed mid-write
+— or a power loss — can never leave a truncated cache.  Unlike checkpoints
 (which are per-job and disposable), a corrupt cache file is
 *quarantined* — renamed to ``<path>.corrupt`` — rather than deleted, so
 the evidence survives while the cache continues from empty.
@@ -31,6 +32,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Mapping
 
+from ..storage import atomic_write_json, quarantine
 from ..vgpu.costmodel import COST_MODEL_VERSION
 
 __all__ = ["TUNE_SCHEMA", "TuneRecord", "TuningCache",
@@ -123,13 +125,7 @@ class TuningCache:
 
     def _quarantine(self) -> None:
         """Move a corrupt cache aside (never delete the evidence)."""
-        target = self.path.with_name(self.path.name + ".corrupt")
-        try:
-            os.replace(self.path, target)
-        except OSError:
-            # Unreadable *and* unmovable: drop it so the cache stays
-            # usable, matching the checkpoint store's last resort.
-            self.path.unlink(missing_ok=True)
+        quarantine(self.path)
 
     def save(self, entries: Mapping[str, TuneRecord]) -> Path:
         """Atomically replace the cache file with ``entries``.
@@ -141,18 +137,17 @@ class TuningCache:
         """
         doc = {"schema": TUNE_SCHEMA,
                "entries": {k: entries[k].to_dict() for k in sorted(entries)}}
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n")
-        # Deterministic kill site for the atomicity property tests: a
-        # serve.faults injector active here fires after the temp write
-        # but before the publish rename.
-        from ..serve.faults import current_injector
-        inj = current_injector()
-        if inj is not None:
-            inj.on_job_start()
-        os.replace(tmp, self.path)
-        return self.path
+
+        def _kill_site() -> None:
+            # Deterministic kill site for the atomicity property tests:
+            # a serve.faults injector active here fires after the temp
+            # write but before the publish rename.
+            from ..serve.faults import current_injector
+            inj = current_injector()
+            if inj is not None:
+                inj.on_job_start()
+
+        return atomic_write_json(self.path, doc, on_publish=_kill_site)
 
     # ------------------------------------------------------------------ #
     def get(self, algorithm: str, fingerprint: str,

@@ -50,6 +50,12 @@ def pytest_addoption(parser):
         help="run only the gateway tests that spawn warm worker "
              "processes: end-to-end digest identity over HTTP, sticky "
              "session placement, and kill-a-worker chaos healing")
+    parser.addoption(
+        "--durability", action="store_true", default=False,
+        help="run only the durability property tests: hypothesis-driven "
+             "disk-fault injection at every repro.storage write site "
+             "(checkpoints, tune cache, scenarios, gateway journal), "
+             "asserting old-or-new atomicity and quarantine recovery")
 
 
 def _select_marked(config, items, marker: str):
@@ -81,18 +87,27 @@ def pytest_collection_modifyitems(config, items):
     if config.getoption("--gateway"):
         _select_marked(config, items, "gateway")
         return
+    if config.getoption("--durability"):
+        _select_marked(config, items, "durability")
+        return
     # Chaos tests are opt-in: they deliberately fail the virtual device,
     # so the default (tier-1) run skips them.  Gateway process tests are
     # opt-in too: they prespawn worker pools per fixture, which the
-    # default run should not pay for.
+    # default run should not pay for.  Durability property tests are
+    # opt-in for the same budget reason: hypothesis drives many examples
+    # per property.
     skip = pytest.mark.skip(reason="chaos tests run only with --chaos")
     skip_gw = pytest.mark.skip(
         reason="gateway worker-pool tests run only with --gateway")
+    skip_dur = pytest.mark.skip(
+        reason="durability property tests run only with --durability")
     for it in items:
         if it.get_closest_marker("chaos") is not None:
             it.add_marker(skip)
         if it.get_closest_marker("gateway") is not None:
             it.add_marker(skip_gw)
+        if it.get_closest_marker("durability") is not None:
+            it.add_marker(skip_dur)
 
 
 def pytest_configure(config):
@@ -120,6 +135,10 @@ def pytest_configure(config):
         "markers",
         "gateway: warm-worker-pool gateway test (repro.gateway); "
         "opt-in via --gateway")
+    config.addinivalue_line(
+        "markers",
+        "durability: disk-fault durability property test (repro.storage "
+        "and its users); opt-in via --durability")
 
 
 @pytest.fixture(autouse=True)
